@@ -1,0 +1,203 @@
+// Command gpusim runs one kernel on the GPU simulator under a chosen
+// register allocation policy and reports execution statistics.
+//
+// Usage:
+//
+//	gpusim -w bfs                          # baseline (static allocation)
+//	gpusim -w bfs -policy regmutex         # compile with RegMutex and run
+//	gpusim -w srad -policy rfv -half       # RFV on the half-size RF
+//	gpusim kernel.kasm -policy regmutex    # assembly file input
+//	gpusim -w sad -policy all              # compare every policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regmutex/internal/asm"
+	"regmutex/internal/core"
+	"regmutex/internal/isa"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("w", "", "built-in workload name")
+	policy := flag.String("policy", "static", "static | regmutex | paired | owf | rfv | all")
+	half := flag.Bool("half", false, "halve the register file (section IV-B machine)")
+	scale := flag.Int("scale", 1, "grid divisor for quicker runs")
+	sms := flag.Int("sms", 0, "override SM count")
+	seed := flag.Uint64("seed", 42, "input seed")
+	trace := flag.Bool("trace", false, "print an occupancy / SRP-holders timeline")
+	flag.Parse()
+
+	machine := occupancy.GTX480()
+	if *half {
+		machine = occupancy.GTX480Half()
+	}
+	if *sms > 0 {
+		machine.NumSMs = *sms
+	}
+
+	var k *isa.Kernel
+	var input []uint64
+	switch {
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		k = w.Build(*scale)
+		input = w.Input(k, *seed)
+	case flag.Arg(0) != "":
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		k, err = asm.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("no input: pass -w <workload> or an assembly file"))
+	}
+
+	names := []string{*policy}
+	if *policy == "all" {
+		names = []string{"static", "regmutex", "paired", "owf", "rfv"}
+	}
+	fmt.Printf("%-10s %12s %12s %10s %10s %10s %12s\n", "policy", "cycles", "instrs", "avg warps", "acq ok%", "IPC/SM", "stalls s/m/a")
+	var baseCycles int64
+	for _, name := range names {
+		var samples []sim.Sample
+		st, err := runPolicy(machine, k, input, name, func(d *sim.Device) {
+			if *trace {
+				d.SampleInterval = 512
+				d.Sampler = func(sm sim.Sample) { samples = append(samples, sm) }
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *trace {
+			printTimeline(machine, name, samples)
+		}
+		ipc := float64(st.Instructions) / float64(st.Cycles) / float64(machine.NumSMs)
+		delta := ""
+		if name == "static" {
+			baseCycles = st.Cycles
+		} else if baseCycles > 0 {
+			delta = fmt.Sprintf("  (%+.1f%% vs static)", 100*(float64(st.Cycles)/float64(baseCycles)-1))
+		}
+		stalls := fmt.Sprintf("%dk/%dk/%dk",
+			st.ScoreboardStalls/1000, st.MemStalls/1000, st.AcquireStalls/1000)
+		fmt.Printf("%-10s %12d %12d %10.1f %9.1f%% %10.2f %12s%s\n",
+			name, st.Cycles, st.Instructions, st.AvgOccupancyWarps,
+			100*st.AcquireSuccessRate(), ipc, stalls, delta)
+	}
+}
+
+func runPolicy(machine occupancy.Config, k *isa.Kernel, input []uint64, name string, configure func(*sim.Device)) (sim.Stats, error) {
+	run := k
+	var pol sim.Policy
+	switch name {
+	case "static":
+		pre, err := core.Prepare(k)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		run, pol = pre, sim.NewStaticPolicy(machine)
+	case "owf", "rfv":
+		pre, err := core.Prepare(k)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		run = pre
+		if name == "rfv" {
+			pol = sim.NewRFVPolicy(machine)
+		} else {
+			res, err := core.Transform(k, core.Options{Config: machine})
+			if err != nil {
+				return sim.Stats{}, err
+			}
+			pol = sim.NewOWFPolicy(machine, res.Split.Bs)
+		}
+	case "regmutex", "paired":
+		res, err := core.Transform(k, core.Options{Config: machine})
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		run = res.Kernel
+		if name == "paired" {
+			pol = sim.NewPairedPolicy(machine)
+		} else {
+			pol = sim.NewRegMutexPolicy(machine)
+		}
+	default:
+		return sim.Stats{}, fmt.Errorf("unknown policy %q", name)
+	}
+	var global []uint64
+	if input != nil {
+		global = append([]uint64(nil), input...)
+	}
+	d, err := sim.NewDevice(machine, sim.DefaultTiming(), run, pol, global)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	if configure != nil {
+		configure(d)
+	}
+	return d.Run()
+}
+
+// printTimeline renders occupancy (and SRP holders, when the policy has
+// any) over time as sparklines.
+func printTimeline(machine occupancy.Config, name string, samples []sim.Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	const width = 72
+	row := func(label string, get func(sim.Sample) int, max int) {
+		if max == 0 {
+			return
+		}
+		out := make([]rune, 0, width)
+		for b := 0; b < width; b++ {
+			lo := b * len(samples) / width
+			hi := (b + 1) * len(samples) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			peak := 0
+			for i := lo; i < hi && i < len(samples); i++ {
+				if v := get(samples[i]); v > peak {
+					peak = v
+				}
+			}
+			idx := peak * (len(ramp) - 1) / max
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			out = append(out, ramp[idx])
+		}
+		fmt.Printf("  %-12s %s (max %d)\n", label, string(out), max)
+	}
+	fmt.Printf("timeline (%s, %d samples over %d cycles):\n", name, len(samples), samples[len(samples)-1].Cycle)
+	maxWarps := machine.NumSMs * machine.MaxWarpsPerSM
+	row("warps", func(s sim.Sample) int { return s.ResidentWarps }, maxWarps)
+	maxHeld := 0
+	for _, s := range samples {
+		if s.HeldSections > maxHeld {
+			maxHeld = s.HeldSections
+		}
+	}
+	row("SRP held", func(s sim.Sample) int { return s.HeldSections }, maxHeld)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gpusim: %v\n", err)
+	os.Exit(1)
+}

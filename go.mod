@@ -1,0 +1,3 @@
+module regmutex
+
+go 1.22

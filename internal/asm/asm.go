@@ -1,0 +1,461 @@
+// Package asm provides a textual assembly format for ISA kernels: a
+// printer (Format) and a parser (Parse) that round-trip losslessly. The
+// format plays the role PTXPlus plays for GPGPU-Sim — a human-readable,
+// editable form of the kernel that the compiler passes and the simulator
+// agree on.
+//
+// Example:
+//
+//	.kernel vecadd
+//	.regs 8
+//	.pregs 1
+//	.threads 128
+//	.grid 4
+//	.global 1536
+//
+//	    mov.special r0, %tid
+//	    mov.special r1, %ctaid
+//	    imad r2, r1, 128, r0
+//	    ld.global r3, [r2+0]
+//	    ld.global r4, [r2+512]
+//	    iadd r5, r3, r4
+//	    st.global [r2+1024], r5
+//	    exit
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"regmutex/internal/isa"
+)
+
+// Format renders the kernel as assembly text. Branch targets receive
+// generated labels (existing labels are preserved).
+func Format(k *isa.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n", k.Name)
+	fmt.Fprintf(&b, ".regs %d\n", k.NumRegs)
+	fmt.Fprintf(&b, ".pregs %d\n", k.NumPRegs)
+	fmt.Fprintf(&b, ".threads %d\n", k.ThreadsPerCTA)
+	fmt.Fprintf(&b, ".grid %d\n", k.GridCTAs)
+	if k.SharedMemWords > 0 {
+		fmt.Fprintf(&b, ".shared %d\n", k.SharedMemWords)
+	}
+	if k.GlobalMemWords > 0 {
+		fmt.Fprintf(&b, ".global %d\n", k.GlobalMemWords)
+	}
+	if k.BaseSet > 0 {
+		fmt.Fprintf(&b, ".baseset %d\n", k.BaseSet)
+	}
+	if k.ExtSet > 0 {
+		fmt.Fprintf(&b, ".extset %d\n", k.ExtSet)
+	}
+	b.WriteByte('\n')
+
+	labels := map[int]string{}
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		if in.Op == isa.OpBra {
+			if _, ok := labels[in.Target]; !ok {
+				name := k.Instrs[in.Target].Label
+				if name == "" {
+					name = fmt.Sprintf("L%d", in.Target)
+				}
+				labels[in.Target] = name
+			}
+		}
+	}
+	for i := range k.Instrs {
+		if l, ok := labels[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "    %s\n", formatInstr(&k.Instrs[i], labels))
+	}
+	return b.String()
+}
+
+func formatInstr(in *isa.Instr, labels map[int]string) string {
+	var b strings.Builder
+	b.WriteString(in.Guard.String())
+	switch in.Op {
+	case isa.OpSetp, isa.OpSetpF:
+		fmt.Fprintf(&b, "%s.%s %s, %s, %s", in.Op, in.Cmp, in.PDst, opnd(in.Srcs[0]), opnd(in.Srcs[1]))
+	case isa.OpSelp:
+		fmt.Fprintf(&b, "selp %s, %s, %s", in.Dst, opnd(in.Srcs[0]), opnd(in.Srcs[1]))
+	case isa.OpBra:
+		fmt.Fprintf(&b, "bra %s", labels[in.Target])
+	case isa.OpMovSpecial:
+		fmt.Fprintf(&b, "mov.special %s, %s", in.Dst, in.Spec)
+	case isa.OpLdGlobal, isa.OpLdShared:
+		fmt.Fprintf(&b, "%s %s, [%s%+d]", in.Op, in.Dst, opnd(in.Srcs[0]), in.Off)
+	case isa.OpStGlobal, isa.OpStShared:
+		fmt.Fprintf(&b, "%s [%s%+d], %s", in.Op, opnd(in.Srcs[0]), in.Off, opnd(in.Srcs[1]))
+	case isa.OpExit, isa.OpNop, isa.OpBarSync, isa.OpAcq, isa.OpRel:
+		b.WriteString(in.Op.String())
+	default:
+		fmt.Fprintf(&b, "%s %s", in.Op, in.Dst)
+		for s := 0; s < isa.NumSrcs(in.Op); s++ {
+			fmt.Fprintf(&b, ", %s", opnd(in.Srcs[s]))
+		}
+	}
+	return b.String()
+}
+
+func opnd(o isa.Operand) string {
+	if o.Kind == isa.OpndReg {
+		return o.Reg.String()
+	}
+	return fmt.Sprintf("%d", o.Imm)
+}
+
+// Parse assembles the textual form back into a kernel.
+func Parse(src string) (*isa.Kernel, error) {
+	p := &parser{
+		k:      &isa.Kernel{NumPRegs: 0},
+		labels: map[string]int{},
+	}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", ln+1, err)
+		}
+	}
+	for idx, label := range p.fixups {
+		tgt, ok := p.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", label)
+		}
+		p.k.Instrs[idx].Target = tgt
+	}
+	if err := p.k.Validate(); err != nil {
+		return nil, err
+	}
+	return p.k, nil
+}
+
+type parser struct {
+	k       *isa.Kernel
+	labels  map[string]int
+	fixups  map[int]string
+	pending []string
+}
+
+func (p *parser) line(line string) error {
+	if strings.HasPrefix(line, ".") {
+		return p.directive(line)
+	}
+	if strings.HasSuffix(line, ":") {
+		name := strings.TrimSuffix(line, ":")
+		if name == "" {
+			return fmt.Errorf("empty label")
+		}
+		if _, dup := p.labels[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		p.labels[name] = -1
+		p.pending = append(p.pending, name)
+		return nil
+	}
+	return p.instr(line)
+}
+
+func (p *parser) directive(line string) error {
+	var name string
+	var rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		name, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		name = line
+	}
+	switch name {
+	case ".kernel":
+		p.k.Name = rest
+		return nil
+	}
+	var v int
+	if _, err := fmt.Sscanf(rest, "%d", &v); err != nil {
+		return fmt.Errorf("directive %s needs an integer: %v", name, err)
+	}
+	switch name {
+	case ".regs":
+		p.k.NumRegs = v
+	case ".pregs":
+		p.k.NumPRegs = v
+	case ".threads":
+		p.k.ThreadsPerCTA = v
+	case ".grid":
+		p.k.GridCTAs = v
+	case ".shared":
+		p.k.SharedMemWords = v
+	case ".global":
+		p.k.GlobalMemWords = v
+	case ".baseset":
+		p.k.BaseSet = v
+	case ".extset":
+		p.k.ExtSet = v
+	default:
+		return fmt.Errorf("unknown directive %s", name)
+	}
+	return nil
+}
+
+// opcodeNames maps mnemonics (without setp comparison suffixes) back to
+// opcodes.
+var opcodeNames = func() map[string]isa.Opcode {
+	m := map[string]isa.Opcode{}
+	for op := isa.Opcode(0); op < isa.Opcode(isa.NumOpcodes); op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var cmpNames = map[string]isa.CmpOp{
+	"eq": isa.CmpEQ, "ne": isa.CmpNE, "lt": isa.CmpLT,
+	"le": isa.CmpLE, "gt": isa.CmpGT, "ge": isa.CmpGE,
+}
+
+var specialNames = map[string]isa.SpecialReg{
+	"%tid": isa.SpecTID, "%ntid": isa.SpecNTID, "%ctaid": isa.SpecCTAID,
+	"%nctaid": isa.SpecNCTAID, "%laneid": isa.SpecLaneID, "%warpid": isa.SpecWarpID,
+}
+
+func (p *parser) instr(line string) error {
+	in := isa.NewInstr(isa.OpNop)
+
+	// Guard prefix.
+	if strings.HasPrefix(line, "@") {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return fmt.Errorf("guard without instruction")
+		}
+		g := line[1:sp]
+		line = strings.TrimSpace(line[sp+1:])
+		if strings.HasPrefix(g, "!") {
+			in.Guard.Neg = true
+			g = g[1:]
+		}
+		pr, err := parsePReg(g)
+		if err != nil {
+			return err
+		}
+		in.Guard.Pred = pr
+	}
+
+	mnemonic := line
+	var operands string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, operands = line[:i], strings.TrimSpace(line[i+1:])
+	}
+
+	// setp.<cmp> and setp.f.<cmp> carry the comparison in the mnemonic.
+	var cmp isa.CmpOp
+	hasCmp := false
+	if strings.HasPrefix(mnemonic, "setp.") {
+		base := "setp"
+		suffix := strings.TrimPrefix(mnemonic, "setp.")
+		if strings.HasPrefix(suffix, "f.") {
+			base = "setp.f"
+			suffix = strings.TrimPrefix(suffix, "f.")
+		}
+		c, ok := cmpNames[suffix]
+		if !ok {
+			return fmt.Errorf("unknown comparison %q", suffix)
+		}
+		cmp, hasCmp = c, true
+		mnemonic = base
+	}
+	op, ok := opcodeNames[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in.Op = op
+	in.Cmp = cmp
+	_ = hasCmp
+
+	args := splitOperands(operands)
+	if err := p.operands(&in, args); err != nil {
+		return fmt.Errorf("%s: %w", mnemonic, err)
+	}
+
+	idx := len(p.k.Instrs)
+	for _, l := range p.pending {
+		p.labels[l] = idx
+		if in.Label == "" {
+			in.Label = l
+		}
+	}
+	p.pending = p.pending[:0]
+	p.k.Instrs = append(p.k.Instrs, in)
+	return nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (p *parser) operands(in *isa.Instr, args []string) error {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("want %d operands, have %d", n, len(args))
+		}
+		return nil
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpExit, isa.OpBarSync, isa.OpAcq, isa.OpRel:
+		return need(0)
+	case isa.OpBra:
+		if err := need(1); err != nil {
+			return err
+		}
+		if p.fixups == nil {
+			p.fixups = map[int]string{}
+		}
+		p.fixups[len(p.k.Instrs)] = args[0]
+		return nil
+	case isa.OpMovSpecial:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		sp, ok := specialNames[args[1]]
+		if !ok {
+			return fmt.Errorf("unknown special register %q", args[1])
+		}
+		in.Dst, in.Spec = d, sp
+		return nil
+	case isa.OpSetp, isa.OpSetpF:
+		if err := need(3); err != nil {
+			return err
+		}
+		pd, err := parsePReg(args[0])
+		if err != nil {
+			return err
+		}
+		in.PDst = pd
+		for i := 0; i < 2; i++ {
+			o, err := parseOperand(args[1+i])
+			if err != nil {
+				return err
+			}
+			in.Srcs[i] = o
+		}
+		return nil
+	case isa.OpLdGlobal, isa.OpLdShared:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		addr, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Srcs[0], in.Off = d, addr, off
+		return nil
+	case isa.OpStGlobal, isa.OpStShared:
+		if err := need(2); err != nil {
+			return err
+		}
+		addr, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseOperand(args[1])
+		if err != nil {
+			return err
+		}
+		in.Srcs[0], in.Off, in.Srcs[1] = addr, off, v
+		return nil
+	default:
+		n := isa.NumSrcs(in.Op)
+		if err := need(1 + n); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		in.Dst = d
+		for i := 0; i < n; i++ {
+			o, err := parseOperand(args[1+i])
+			if err != nil {
+				return err
+			}
+			in.Srcs[i] = o
+		}
+		return nil
+	}
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "r%d", &n); err != nil || n < 0 || n >= isa.MaxRegs {
+		return isa.NoReg, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parsePReg(s string) (isa.PReg, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "p%d", &n); err != nil || n < 0 || n >= isa.MaxPRegs {
+		return isa.NoPReg, fmt.Errorf("bad predicate %q", s)
+	}
+	return isa.PReg(n), nil
+}
+
+func parseOperand(s string) (isa.Operand, error) {
+	if strings.HasPrefix(s, "r") {
+		r, err := parseReg(s)
+		if err != nil {
+			return isa.Operand{}, err
+		}
+		return isa.R(r), nil
+	}
+	var v int64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return isa.Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return isa.Imm(v), nil
+}
+
+// parseMem parses "[rN+off]" / "[rN-off]" / "[rN]".
+func parseMem(s string) (isa.Operand, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return isa.Operand{}, 0, fmt.Errorf("bad address %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	off := int64(0)
+	regPart := inner
+	if i := strings.IndexAny(inner[1:], "+-"); i >= 0 {
+		i++ // compensate the [1:] shift
+		regPart = inner[:i]
+		offPart := strings.TrimPrefix(inner[i:], "+") // tolerate "+-3"
+		if _, err := fmt.Sscanf(offPart, "%d", &off); err != nil {
+			return isa.Operand{}, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	r, err := parseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return isa.Operand{}, 0, err
+	}
+	return isa.R(r), off, nil
+}

@@ -1,0 +1,331 @@
+// Package cfg builds control-flow graphs over ISA kernels and computes the
+// dominance information the RegMutex compiler needs: immediate
+// post-dominators give the SIMT reconvergence points for divergent
+// branches (paper section III-A1), and dominators let the injection pass
+// prove every extended-set access is covered by an acquire.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"regmutex/internal/isa"
+)
+
+// Block is one basic block: the half-open instruction range [Start, End).
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int // successor block IDs
+	Preds []int // predecessor block IDs
+}
+
+// Graph is the CFG of a kernel. Block 0 is the entry. Exit is a virtual
+// node (ID == len(Blocks)) that every OpExit block and every block ending
+// the instruction stream flows into; it exists only in the dominance
+// computations, not in Blocks.
+type Graph struct {
+	Kernel *isa.Kernel
+	Blocks []Block
+
+	blockOf []int // instruction index -> block ID
+
+	idom  []int // immediate dominator per block (-1 for entry)
+	ipdom []int // immediate post-dominator per block (exit for terminal)
+}
+
+// exitID returns the virtual exit node's ID.
+func (g *Graph) exitID() int { return len(g.Blocks) }
+
+// Build constructs the CFG for k.
+func Build(k *isa.Kernel) (*Graph, error) {
+	n := len(k.Instrs)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: kernel %s is empty", k.Name)
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		if in.Op == isa.OpBra {
+			if in.Target < 0 || in.Target >= n {
+				return nil, fmt.Errorf("cfg: kernel %s: branch at %d targets %d", k.Name, i, in.Target)
+			}
+			leader[in.Target] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Op == isa.OpExit && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	g := &Graph{Kernel: k, blockOf: make([]int, n)}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		// A block also ends at its own branch/exit even if the next
+		// instruction was not marked (it always is, but be safe).
+		g.Blocks = append(g.Blocks, Block{ID: len(g.Blocks), Start: i, End: j})
+		for t := i; t < j; t++ {
+			g.blockOf[t] = len(g.Blocks) - 1
+		}
+		i = j
+	}
+	// Edges.
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		last := &k.Instrs[b.End-1]
+		addEdge := func(to int) {
+			b.Succs = append(b.Succs, to)
+		}
+		switch {
+		case last.Op == isa.OpBra:
+			addEdge(g.blockOf[last.Target])
+			if !last.Guard.Unguarded() && b.End < n {
+				addEdge(g.blockOf[b.End]) // fall through when not taken
+			}
+		case last.Op == isa.OpExit:
+			// flows to virtual exit only
+		default:
+			if b.End < n {
+				addEdge(g.blockOf[b.End])
+			} else {
+				return nil, fmt.Errorf("cfg: kernel %s: control falls off the end of block %d", k.Name, bi)
+			}
+		}
+	}
+	for bi := range g.Blocks {
+		for _, s := range g.Blocks[bi].Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, bi)
+		}
+	}
+	g.computeDominators()
+	g.computePostDominators()
+	return g, nil
+}
+
+// BlockOf returns the block ID containing instruction index i.
+func (g *Graph) BlockOf(i int) int { return g.blockOf[i] }
+
+// IDom returns the immediate dominator of block b, or -1 for the entry.
+func (g *Graph) IDom(b int) int { return g.idom[b] }
+
+// Dominates reports whether block a dominates block b.
+func (g *Graph) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = g.idom[b]
+	}
+	return false
+}
+
+// IPDomBlock returns the immediate post-dominator block of b, or -1 when
+// the only post-dominator is the virtual exit.
+func (g *Graph) IPDomBlock(b int) int {
+	p := g.ipdom[b]
+	if p == g.exitID() {
+		return -1
+	}
+	return p
+}
+
+// ReconvPC returns the reconvergence instruction index for a potentially
+// divergent branch at instruction i: the first instruction of the
+// branch block's immediate post-dominator block. Returns -1 when control
+// only reconverges at thread exit.
+func (g *Graph) ReconvPC(i int) int {
+	b := g.blockOf[i]
+	p := g.IPDomBlock(b)
+	if p == -1 {
+		return -1
+	}
+	return g.Blocks[p].Start
+}
+
+// RegionBlocks returns the blocks strictly "inside" the divergent region
+// of the branch ending block b: every block reachable from a successor of
+// b without passing through the reconvergence block. The reconvergence
+// block itself is excluded; b is excluded. Used by the divergence-aware
+// liveness widening (paper section III-A1).
+func (g *Graph) RegionBlocks(b int) []int {
+	stop := g.ipdom[b]
+	seen := make(map[int]bool)
+	var stack []int
+	for _, s := range g.Blocks[b].Succs {
+		if s != stop {
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == stop || seen[x] || x == g.exitID() {
+			continue
+		}
+		seen[x] = true
+		for _, s := range g.Blocks[x].Succs {
+			stack = append(stack, s)
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// computeDominators runs the classic iterative bit-vector algorithm.
+// Graphs here are tiny (tens of blocks), so simplicity wins.
+func (g *Graph) computeDominators() {
+	n := len(g.Blocks)
+	full := make([]uint64, (n+63)/64)
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+	dom := make([][]uint64, n)
+	for b := range dom {
+		dom[b] = append([]uint64(nil), full...)
+	}
+	setOnly := func(v []uint64, b int) {
+		for i := range v {
+			v[i] = 0
+		}
+		v[b/64] |= 1 << uint(b%64)
+	}
+	setOnly(dom[0], 0)
+	changed := true
+	for changed {
+		changed = false
+		for b := 1; b < n; b++ {
+			nv := append([]uint64(nil), full...)
+			if len(g.Blocks[b].Preds) == 0 {
+				// unreachable block: dominate-by-all keeps it inert
+				continue
+			}
+			for _, p := range g.Blocks[b].Preds {
+				for i := range nv {
+					nv[i] &= dom[p][i]
+				}
+			}
+			nv[b/64] |= 1 << uint(b%64)
+			for i := range nv {
+				if nv[i] != dom[b][i] {
+					dom[b] = nv
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	g.idom = idomFromSets(dom, 0)
+}
+
+// computePostDominators runs the same algorithm on the reversed graph with
+// the virtual exit as root.
+func (g *Graph) computePostDominators() {
+	n := len(g.Blocks) + 1 // + virtual exit
+	exit := n - 1
+	succs := make([][]int, n)
+	preds := make([][]int, n)
+	for b := range g.Blocks {
+		ss := g.Blocks[b].Succs
+		if len(ss) == 0 {
+			ss = []int{exit}
+		}
+		succs[b] = ss
+		for _, s := range ss {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	full := make([]uint64, (n+63)/64)
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+	pdom := make([][]uint64, n)
+	for b := range pdom {
+		pdom[b] = append([]uint64(nil), full...)
+	}
+	for i := range pdom[exit] {
+		pdom[exit][i] = 0
+	}
+	pdom[exit][exit/64] |= 1 << uint(exit%64)
+	changed := true
+	for changed {
+		changed = false
+		for b := n - 2; b >= 0; b-- {
+			nv := append([]uint64(nil), full...)
+			if len(succs[b]) == 0 {
+				continue
+			}
+			for _, s := range succs[b] {
+				for i := range nv {
+					nv[i] &= pdom[s][i]
+				}
+			}
+			nv[b/64] |= 1 << uint(b%64)
+			for i := range nv {
+				if nv[i] != pdom[b][i] {
+					pdom[b] = nv
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	ip := idomFromSets(pdom, exit)
+	g.ipdom = ip[:len(g.Blocks)]
+}
+
+// idomFromSets extracts immediate dominators from full dominator sets:
+// the immediate dominator of b is the strict dominator of b that is
+// dominated by every other strict dominator of b.
+func idomFromSets(dom [][]uint64, root int) []int {
+	n := len(dom)
+	has := func(b, d int) bool { return dom[b][d/64]&(1<<uint(d%64)) != 0 }
+	idom := make([]int, n)
+	for b := range idom {
+		idom[b] = -1
+		if b == root {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			if d == b || !has(b, d) {
+				continue
+			}
+			// d strictly dominates b; is it immediate? Yes when every
+			// other strict dominator e of b also dominates d.
+			immediate := true
+			for e := 0; e < n; e++ {
+				if e == b || e == d || !has(b, e) {
+					continue
+				}
+				if !has(d, e) {
+					immediate = false
+					break
+				}
+			}
+			if immediate {
+				idom[b] = d
+				break
+			}
+		}
+	}
+	return idom
+}
+
+// AnnotateReconvergence fills Instr.Reconv for every branch in the kernel
+// with its computed reconvergence PC. It mutates k (call on a clone).
+func AnnotateReconvergence(k *isa.Kernel, g *Graph) {
+	for i := range k.Instrs {
+		if k.Instrs[i].Op == isa.OpBra {
+			k.Instrs[i].Reconv = g.ReconvPC(i)
+		}
+	}
+}

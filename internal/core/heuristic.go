@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"regmutex/internal/isa"
+	"regmutex/internal/liveness"
+	"regmutex/internal/occupancy"
+)
+
+// CandidateFractions is the empirically-derived set of section III-A2 from
+// which |Es| candidates are drawn (each multiplied by the kernel's
+// register usage).
+var CandidateFractions = []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.35}
+
+// Split is a chosen base/extended register division plus the occupancy
+// facts that justified it.
+type Split struct {
+	Bs, Es   int
+	Sections int
+	Warps    int // resident warps per SM at |Bs|
+	Disabled bool
+	Reason   string
+}
+
+// Candidates returns the deduplicated, ascending |Es| candidate list for a
+// kernel demanding regs registers per thread: each fraction times regs,
+// rounded to the nearest even integer ("we keep the even numbers"), zero
+// and >= regs excluded. For the paper's 24-register example this yields
+// {2, 4, 6, 8}.
+func Candidates(regs int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range CandidateFractions {
+		es := 2 * int(math.Round(f*float64(regs)/2))
+		if es <= 0 || es >= regs || seen[es] {
+			continue
+		}
+		seen[es] = true
+		out = append(out, es)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SelectSplit runs the |Es| selection heuristic of section III-A2 for
+// kernel k on machine cfg:
+//
+//  1. If register demand does not limit the kernel's theoretical
+//     occupancy, RegMutex is disabled (all registers stay in the base
+//     set and no primitives are injected).
+//  2. Candidate |Es| values come from Candidates(AllocRegs).
+//  3. Deadlock rule A: |Bs| must cover the live registers at every
+//     CTA-wide barrier. Deadlock rule B: the SRP must hold at least one
+//     section.
+//  4. Among the candidates that maximise theoretical occupancy computed
+//     with |Bs| alone, pick the one with the largest |Bs| whose SRP
+//     section count still lets more than half the resident warps hold
+//     extended sets concurrently (the paper's worked example picks
+//     Es=6/Bs=18 over Es=8/Bs=16 this way). If no candidate clears the
+//     half-the-warps bar, pick the one with the most sections.
+//
+// feasible, when non-nil, vetoes candidates the later compiler stages
+// cannot honour (index compaction failure); pass nil to skip.
+func SelectSplit(cfg occupancy.Config, k *isa.Kernel, inf *liveness.Info, feasible func(bs, es int) bool) Split {
+	regs := k.AllocRegs()
+	base := occupancy.Baseline(cfg, k)
+	free := occupancy.Unconstrained(cfg, k)
+	if base.WarpsPerSM >= free.WarpsPerSM {
+		return Split{Bs: regs, Disabled: true,
+			Reason: "registers do not limit occupancy; zero-sized extended set"}
+	}
+
+	type cand struct {
+		es, bs, warps, sections int
+	}
+	var viable []cand
+	for _, es := range Candidates(regs) {
+		bs := regs - es
+		if bs < inf.MaxLiveAtBarrier || bs < 1 {
+			continue // deadlock rule A
+		}
+		occ := occupancy.WithBaseSet(cfg, k, bs)
+		sections, _ := occupancy.SRPSections(cfg, occ.WarpsPerSM, bs, es)
+		if sections < 1 {
+			continue // deadlock rule B
+		}
+		if feasible != nil && !feasible(bs, es) {
+			continue
+		}
+		viable = append(viable, cand{es: es, bs: bs, warps: occ.WarpsPerSM, sections: sections})
+	}
+	if len(viable) == 0 {
+		return Split{Bs: regs, Disabled: true, Reason: "no feasible extended-set candidate"}
+	}
+
+	maxWarps := 0
+	for _, c := range viable {
+		if c.warps > maxWarps {
+			maxWarps = c.warps
+		}
+	}
+	var best *cand
+	// Largest |Bs| (i.e. smallest |Es|) whose sections exceed half the
+	// resident warps.
+	for i := range viable {
+		c := &viable[i]
+		if c.warps != maxWarps {
+			continue
+		}
+		if 2*c.sections > c.warps {
+			best = c
+			break // viable is sorted by ascending es = descending bs
+		}
+	}
+	if best == nil {
+		// No candidate lets half the warps hold concurrently; fall back
+		// to the largest base set (smallest |Es|) at max occupancy, so
+		// acquire regions stay as short as possible. This reproduces
+		// Table I's picks for the kernels whose SRP is cramped (CUTCP,
+		// RadixSort, HotSpot3D, ...).
+		for i := range viable {
+			c := &viable[i]
+			if c.warps == maxWarps {
+				best = c
+				break // viable is sorted by ascending |Es|
+			}
+		}
+	}
+	return Split{Bs: best.bs, Es: best.es, Sections: best.sections, Warps: best.warps}
+}

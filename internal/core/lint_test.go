@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"regmutex/internal/isa"
+	"regmutex/internal/workloads"
+)
+
+func lintMessages(t *testing.T, k *isa.Kernel) string {
+	t.Helper()
+	issues, err := Lint(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, is := range issues {
+		all = append(all, is.String())
+	}
+	return strings.Join(all, "\n")
+}
+
+func TestLintCleanKernel(t *testing.T) {
+	b := isa.NewBuilder("clean", 4, 1, 32)
+	b.MovSpecial(0, isa.SpecTID)
+	b.Mov(1, isa.Imm(1))
+	b.IAdd(2, isa.R(0), isa.R(1))
+	b.IAdd(3, isa.R(2), isa.Imm(1))
+	b.StGlobal(isa.R(0), 0, isa.R(3))
+	b.Exit()
+	if msgs := lintMessages(t, b.MustKernel()); msgs != "" {
+		t.Errorf("clean kernel flagged:\n%s", msgs)
+	}
+}
+
+func TestLintUndefinedRead(t *testing.T) {
+	b := isa.NewBuilder("undef", 4, 1, 32)
+	b.IAdd(0, isa.R(1), isa.Imm(1)) // r1 never written
+	b.StGlobal(isa.R(0), 0, isa.R(0))
+	b.Exit()
+	if msgs := lintMessages(t, b.MustKernel()); !strings.Contains(msgs, "before definition") {
+		t.Errorf("undefined read not flagged:\n%s", msgs)
+	}
+}
+
+func TestLintBarrierInDivergence(t *testing.T) {
+	b := isa.NewBuilder("divbar", 4, 1, 64)
+	b.MovSpecial(0, isa.SpecTID)
+	b.Setp(0, isa.CmpLT, isa.R(0), isa.Imm(16))
+	b.BraIf(0, "join")
+	b.Bar() // only the not-taken lanes arrive: hazard
+	b.Label("join")
+	b.StGlobal(isa.R(0), 0, isa.R(0))
+	b.Exit()
+	k := b.MustKernel()
+	k.SharedMemWords = 32
+	if msgs := lintMessages(t, k); !strings.Contains(msgs, "divergent if/else") {
+		t.Errorf("divergent barrier not flagged:\n%s", msgs)
+	}
+}
+
+func TestLintBarrierInUniformLoopOK(t *testing.T) {
+	b := isa.NewBuilder("loopbar", 4, 1, 64)
+	b.MovSpecial(0, isa.SpecTID)
+	b.Mov(1, isa.Imm(3))
+	b.Label("top")
+	b.Bar() // normal per-iteration barrier: fine
+	b.ISub(1, isa.R(1), isa.Imm(1))
+	b.Setp(0, isa.CmpGT, isa.R(1), isa.Imm(0))
+	b.BraIf(0, "top")
+	b.StGlobal(isa.R(0), 0, isa.R(1))
+	b.Exit()
+	k := b.MustKernel()
+	k.SharedMemWords = 32
+	if msgs := lintMessages(t, k); strings.Contains(msgs, "divergent") {
+		t.Errorf("loop barrier wrongly flagged:\n%s", msgs)
+	}
+}
+
+func TestLintUnreachableAndUnused(t *testing.T) {
+	b := isa.NewBuilder("dead", 6, 1, 32)
+	b.Mov(0, isa.Imm(1))
+	b.Bra("end")
+	b.Mov(1, isa.Imm(2)) // unreachable
+	b.Label("end")
+	b.StGlobal(isa.R(0), 0, isa.R(0))
+	b.Exit()
+	msgs := lintMessages(t, b.MustKernel())
+	if !strings.Contains(msgs, "unreachable") {
+		t.Errorf("unreachable code not flagged:\n%s", msgs)
+	}
+	if !strings.Contains(msgs, "never used") {
+		t.Errorf("unused registers not flagged:\n%s", msgs)
+	}
+}
+
+// Every Table I workload must lint clean — they are the quality bar.
+func TestWorkloadsLintClean(t *testing.T) {
+	for _, w := range workloads.All() {
+		k := w.Build(8)
+		issues, err := Lint(k)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, is := range issues {
+			t.Errorf("%s: %s", w.Name, is)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package energy models GPU register file energy, quantifying the
+// paper's economics argument: "GPU programs can sustain approximately the
+// same performance with the lower number of registers hence yielding
+// higher performance per dollar" (section I), and the GPU-Shrink power
+// numbers the paper cites in section IV-B (halving the register file cuts
+// its dynamic power ~20% and overall power ~30%).
+//
+// The model is deliberately simple and parameterised: SRAM dynamic energy
+// per access grows with bank capacity (longer bitlines), and leakage power
+// is proportional to total capacity. The constants are representative
+// 40 nm-class values; the experiments only depend on their ratios.
+package energy
+
+import (
+	"math"
+
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+)
+
+// Model holds the register file energy parameters.
+type Model struct {
+	// ReadPJ / WritePJ are the energies of one warp-wide register row
+	// access (128 bytes) at the reference capacity, in picojoules.
+	ReadPJ  float64
+	WritePJ float64
+	// ReferenceRows is the capacity the access energies are quoted at
+	// (the baseline 128 KB file = 1024 warp rows).
+	ReferenceRows int
+	// LeakageNWPerRow is the static leakage per warp row in nanowatts.
+	LeakageNWPerRow float64
+	// ClockGHz converts cycles to seconds for leakage integration.
+	ClockGHz float64
+}
+
+// DefaultModel returns representative 40 nm-class parameters (GTX480
+// generation): ~25 pJ to read a 128-byte row from a 128 KB file, writes
+// ~20% cheaper, leakage ~30 nW per row, 1.4 GHz shader clock.
+func DefaultModel() Model {
+	return Model{
+		ReadPJ:          25,
+		WritePJ:         20,
+		ReferenceRows:   1024,
+		LeakageNWPerRow: 30,
+		ClockGHz:        1.4,
+	}
+}
+
+// accessScale returns the per-access energy multiplier for a file of the
+// given capacity: bitline energy grows roughly with the square root of
+// capacity (banked SRAM).
+func (m Model) accessScale(rows int) float64 {
+	if rows <= 0 || m.ReferenceRows <= 0 {
+		return 1
+	}
+	return math.Sqrt(float64(rows) / float64(m.ReferenceRows))
+}
+
+// Report is the register file energy breakdown for one kernel run.
+type Report struct {
+	DynamicUJ float64 // access energy, microjoules (all SMs)
+	StaticUJ  float64 // leakage energy, microjoules
+	TotalUJ   float64
+	// EDP is the energy-delay product in microjoule-megacycles, the
+	// "performance per dollar" scalar (lower is better).
+	EDP float64
+}
+
+// Estimate computes the register file energy of a finished run on the
+// given machine. Access counts come from the simulator's warp-row
+// counters; leakage integrates over the run's cycles across every SM's
+// register file.
+func (m Model) Estimate(cfg occupancy.Config, st sim.Stats) Report {
+	rows := cfg.WarpRegisters()
+	scale := m.accessScale(rows)
+	dynPJ := (float64(st.RFReads)*m.ReadPJ + float64(st.RFWrites)*m.WritePJ) * scale
+
+	seconds := float64(st.Cycles) / (m.ClockGHz * 1e9)
+	leakW := m.LeakageNWPerRow * 1e-9 * float64(rows) * float64(cfg.NumSMs)
+	statPJ := leakW * seconds * 1e12
+
+	r := Report{
+		DynamicUJ: dynPJ / 1e6,
+		StaticUJ:  statPJ / 1e6,
+	}
+	r.TotalUJ = r.DynamicUJ + r.StaticUJ
+	r.EDP = r.TotalUJ * float64(st.Cycles) / 1e6
+	return r
+}
+
+// Savings returns the percentage reduction of b relative to a
+// (positive = b uses less energy).
+func Savings(a, b Report) float64 {
+	if a.TotalUJ == 0 {
+		return 0
+	}
+	return 100 * (1 - b.TotalUJ/a.TotalUJ)
+}

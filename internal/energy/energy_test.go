@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+)
+
+func TestAccessScale(t *testing.T) {
+	m := DefaultModel()
+	if got := m.accessScale(1024); got != 1 {
+		t.Errorf("reference scale = %f, want 1", got)
+	}
+	half := m.accessScale(512)
+	if half >= 1 || half <= 0.5 {
+		t.Errorf("half-capacity scale = %f, want in (0.5, 1)", half)
+	}
+	if m.accessScale(0) != 1 {
+		t.Error("degenerate capacity must not divide by zero")
+	}
+}
+
+func TestEstimateHalvingSavesLeakage(t *testing.T) {
+	m := DefaultModel()
+	st := sim.Stats{Cycles: 100000, RFReads: 500000, RFWrites: 250000}
+	full := m.Estimate(occupancy.GTX480(), st)
+	half := m.Estimate(occupancy.GTX480Half(), st)
+
+	if full.TotalUJ <= 0 || full.DynamicUJ <= 0 || full.StaticUJ <= 0 {
+		t.Fatalf("degenerate report: %+v", full)
+	}
+	// Same work on the smaller file: both dynamic (shorter bitlines)
+	// and static (half the cells) energy must drop.
+	if half.StaticUJ >= full.StaticUJ*0.6 {
+		t.Errorf("leakage did not halve: %f vs %f", half.StaticUJ, full.StaticUJ)
+	}
+	if half.DynamicUJ >= full.DynamicUJ {
+		t.Errorf("dynamic energy did not drop: %f vs %f", half.DynamicUJ, full.DynamicUJ)
+	}
+	if s := Savings(full, half); s <= 0 || s >= 100 {
+		t.Errorf("savings = %f%%", s)
+	}
+}
+
+func TestEDPPenalisesSlowdown(t *testing.T) {
+	m := DefaultModel()
+	fast := m.Estimate(occupancy.GTX480(), sim.Stats{Cycles: 100000, RFReads: 1e6, RFWrites: 5e5})
+	slow := m.Estimate(occupancy.GTX480(), sim.Stats{Cycles: 200000, RFReads: 1e6, RFWrites: 5e5})
+	if slow.EDP <= fast.EDP {
+		t.Errorf("EDP must grow with delay: %f vs %f", slow.EDP, fast.EDP)
+	}
+}
+
+// Property: energy is monotone in every input (accesses, cycles, size).
+func TestEstimateMonotoneProperty(t *testing.T) {
+	m := DefaultModel()
+	cfg := occupancy.GTX480()
+	f := func(reads, writes uint32, cycles uint32) bool {
+		a := sim.Stats{Cycles: int64(cycles), RFReads: int64(reads), RFWrites: int64(writes)}
+		b := a
+		b.RFReads++
+		b.Cycles += 10
+		ra, rb := m.Estimate(cfg, a), m.Estimate(cfg, b)
+		return rb.TotalUJ >= ra.TotalUJ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSavingsZeroBase(t *testing.T) {
+	if Savings(Report{}, Report{TotalUJ: 5}) != 0 {
+		t.Error("zero base must not divide by zero")
+	}
+}

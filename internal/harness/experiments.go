@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"regmutex/internal/core"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// AppResult is one application's outcome in a two-policy comparison.
+type AppResult struct {
+	Name           string
+	BaselineCycles int64
+	Cycles         int64
+	ReductionPct   float64 // positive = RegMutex faster
+	OccBefore      float64 // theoretical occupancy, baseline
+	OccAfter       float64 // theoretical occupancy, with RegMutex
+	AcquireRate    float64 // successful acquires / attempts
+	Split          core.Split
+}
+
+// Table1Row is one row of Table I.
+type Table1Row struct {
+	Name               string
+	Regs, RegsRounded  int
+	Bs                 int
+	PaperRegs, PaperBs int
+	Matches            bool
+}
+
+// Table1 reruns the |Es| selection heuristic for every workload on its
+// study machine and compares against the paper's Table I.
+func Table1(o Options) ([]Table1Row, error) {
+	o = o.normalize()
+	var rows []Table1Row
+	for _, w := range workloads.All() {
+		machine := occupancy.GTX480()
+		if !w.RegisterLimited {
+			machine = occupancy.GTX480Half()
+		}
+		k := w.Build(o.Scale)
+		res, err := core.Transform(k, core.Options{Config: machine})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", w.Name, err)
+		}
+		bs := res.Split.Bs
+		if res.Disabled() {
+			bs = k.AllocRegs()
+		}
+		rows = append(rows, Table1Row{
+			Name: w.Name, Regs: k.NumRegs, RegsRounded: k.AllocRegs(),
+			Bs: bs, PaperRegs: w.PaperRegs, PaperBs: w.PaperBs,
+			Matches: bs == w.PaperBs,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table I.
+func PrintTable1(wr io.Writer, rows []Table1Row) {
+	section(wr, "Table I: workloads, register demand, and chosen |Bs|")
+	fmt.Fprintf(wr, "%-16s %8s %8s %6s %10s %7s\n", "application", "#regs", "(alloc)", "|Bs|", "paper |Bs|", "match")
+	for _, r := range rows {
+		mark := "yes"
+		if !r.Matches {
+			mark = "DEV"
+		}
+		fmt.Fprintf(wr, "%-16s %8d %8d %6d %10d %7s\n", r.Name, r.Regs, r.RegsRounded, r.Bs, r.PaperBs, mark)
+	}
+}
+
+// Fig7 is the kernel occupancy boost analysis (section IV-A): execution
+// cycle reduction and theoretical occupancy with and without RegMutex for
+// the eight register-limited applications on the baseline GTX480.
+func Fig7(o Options) ([]AppResult, error) {
+	o = o.normalize()
+	cfg := o.machine(occupancy.GTX480())
+	var out []AppResult
+	for _, w := range workloads.Fig7Set() {
+		k := w.Build(o.Scale)
+		base, err := baselineRun(o, cfg, w, k)
+		if err != nil {
+			return nil, err
+		}
+		st, res, err := regmutexRun(o, cfg, w, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AppResult{
+			Name:           w.Name,
+			BaselineCycles: base.Cycles,
+			Cycles:         st.Cycles,
+			ReductionPct:   reductionPct(base.Cycles, st.Cycles),
+			OccBefore:      res.BaselineOcc.Occupancy,
+			OccAfter:       res.RegMutexOcc.Occupancy,
+			AcquireRate:    st.AcquireSuccessRate(),
+			Split:          res.Split,
+		})
+	}
+	return out, nil
+}
+
+// PrintFig7 renders the Figure 7 series.
+func PrintFig7(wr io.Writer, rows []AppResult) {
+	section(wr, "Figure 7: exec-cycle reduction and occupancy with RegMutex (baseline RF)")
+	fmt.Fprintf(wr, "%-16s %12s %12s %9s %9s %9s %8s\n",
+		"application", "base cycles", "RM cycles", "red.%", "occ init", "occ RM", "acq ok%")
+	var reds []float64
+	for _, r := range rows {
+		fmt.Fprintf(wr, "%-16s %12d %12d %8.1f%% %8.0f%% %8.0f%% %7.1f%%\n",
+			r.Name, r.BaselineCycles, r.Cycles, r.ReductionPct,
+			100*r.OccBefore, 100*r.OccAfter, 100*r.AcquireRate)
+		reds = append(reds, r.ReductionPct)
+	}
+	fmt.Fprintf(wr, "%-16s %34s %7.1f%%   (paper: avg 13%%, max 23%%)\n", "average", "", mean(reds))
+}
+
+// Fig8Result is one application of the register-file-size reduction study.
+type Fig8Result struct {
+	Name           string
+	FullRFCycles   int64 // baseline machine, full RF
+	HalfNoRMCycles int64 // half RF, no technique
+	HalfRMCycles   int64 // half RF, RegMutex
+	IncreaseNoRM   float64
+	IncreaseRM     float64
+	OccHalfNoRM    float64
+	OccHalfRM      float64
+	AcquireRate    float64
+	Split          core.Split
+}
+
+// Fig8 is the register file size reduction analysis (section IV-B): the
+// eight not-register-limited applications on a machine with half the
+// register file, with and without RegMutex, measured against the full-RF
+// baseline.
+func Fig8(o Options) ([]Fig8Result, error) {
+	o = o.normalize()
+	full := o.machine(occupancy.GTX480())
+	half := o.machine(occupancy.GTX480Half())
+	var out []Fig8Result
+	for _, w := range workloads.Fig8Set() {
+		k := w.Build(o.Scale)
+		fullSt, err := baselineRun(o, full, w, k)
+		if err != nil {
+			return nil, err
+		}
+		halfSt, err := baselineRun(o, half, w, k)
+		if err != nil {
+			return nil, err
+		}
+		rmSt, res, err := regmutexRun(o, half, w, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Result{
+			Name:           w.Name,
+			FullRFCycles:   fullSt.Cycles,
+			HalfNoRMCycles: halfSt.Cycles,
+			HalfRMCycles:   rmSt.Cycles,
+			IncreaseNoRM:   increasePct(fullSt.Cycles, halfSt.Cycles),
+			IncreaseRM:     increasePct(fullSt.Cycles, rmSt.Cycles),
+			OccHalfNoRM:    res.BaselineOcc.Occupancy,
+			OccHalfRM:      res.RegMutexOcc.Occupancy,
+			AcquireRate:    rmSt.AcquireSuccessRate(),
+			Split:          res.Split,
+		})
+	}
+	return out, nil
+}
+
+// PrintFig8 renders the Figure 8 series.
+func PrintFig8(wr io.Writer, rows []Fig8Result) {
+	section(wr, "Figure 8: exec-cycle increase on half-size RF, with and without RegMutex")
+	fmt.Fprintf(wr, "%-16s %12s %11s %11s %9s %9s %9s %9s\n",
+		"application", "full cycles", "half noRM", "half RM", "inc noRM", "inc RM", "occ noRM", "occ RM")
+	var incNo, incRM []float64
+	for _, r := range rows {
+		fmt.Fprintf(wr, "%-16s %12d %11d %11d %8.1f%% %8.1f%% %8.0f%% %8.0f%%\n",
+			r.Name, r.FullRFCycles, r.HalfNoRMCycles, r.HalfRMCycles,
+			r.IncreaseNoRM, r.IncreaseRM, 100*r.OccHalfNoRM, 100*r.OccHalfRM)
+		incNo = append(incNo, r.IncreaseNoRM)
+		incRM = append(incRM, r.IncreaseRM)
+	}
+	fmt.Fprintf(wr, "%-16s %36s %8.1f%% %8.1f%%  (paper: 23%% vs 9%%)\n", "average", "", mean(incNo), mean(incRM))
+}
+
+// CmpResult compares the three techniques on one application.
+type CmpResult struct {
+	Name     string
+	Baseline int64 // static cycles on the study machine's reference
+	OWF      int64
+	RFV      int64
+	RegMutex int64
+	NoTech   int64 // only meaningful on the half-RF study
+}
+
+// Fig9a compares OWF, RFV, and RegMutex on the baseline architecture over
+// the register-limited set (section IV-C, Figure 9a).
+func Fig9a(o Options) ([]CmpResult, error) {
+	o = o.normalize()
+	cfg := o.machine(occupancy.GTX480())
+	return compareTechniques(o, cfg, cfg, workloads.Fig7Set())
+}
+
+// Fig9b repeats the comparison on the half-register-file machine, against
+// the full-RF baseline (Figure 9b).
+func Fig9b(o Options) ([]CmpResult, error) {
+	o = o.normalize()
+	full := o.machine(occupancy.GTX480())
+	half := o.machine(occupancy.GTX480Half())
+	return compareTechniques(o, full, half, workloads.Fig8Set())
+}
+
+func compareTechniques(o Options, refCfg, runCfg occupancy.Config, set []*workloads.Workload) ([]CmpResult, error) {
+	var out []CmpResult
+	for _, w := range set {
+		k := w.Build(o.Scale)
+		ref, err := baselineRun(o, refCfg, w, k)
+		if err != nil {
+			return nil, err
+		}
+		r := CmpResult{Name: w.Name, Baseline: ref.Cycles}
+		if refCfg.Name != runCfg.Name {
+			noSt, err := baselineRun(o, runCfg, w, k)
+			if err != nil {
+				return nil, err
+			}
+			r.NoTech = noSt.Cycles
+		}
+		rmSt, res, err := regmutexRun(o, runCfg, w, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.RegMutex = rmSt.Cycles
+
+		// OWF shares registers above the same |Bs| threshold RegMutex
+		// chose, making the comparison apples-to-apples on the split.
+		pre, err := core.Prepare(k)
+		if err != nil {
+			return nil, err
+		}
+		owfSt, err := runOne(o, runCfg, w, pre, sim.NewOWFPolicy(runCfg, res.Split.Bs))
+		if err != nil {
+			return nil, err
+		}
+		r.OWF = owfSt.Cycles
+
+		rfvSt, err := runOne(o, runCfg, w, pre, sim.NewRFVPolicy(runCfg))
+		if err != nil {
+			return nil, err
+		}
+		r.RFV = rfvSt.Cycles
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintFig9 renders either comparison figure.
+func PrintFig9(wr io.Writer, rows []CmpResult, half bool) {
+	if half {
+		section(wr, "Figure 9b: technique comparison, half-size RF (increase vs full-RF baseline)")
+		fmt.Fprintf(wr, "%-16s %10s %9s %9s %9s %9s\n", "application", "base", "none", "OWF", "RFV", "RegMutex")
+		var n, ow, rf, rm []float64
+		for _, r := range rows {
+			fmt.Fprintf(wr, "%-16s %10d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", r.Name, r.Baseline,
+				increasePct(r.Baseline, r.NoTech), increasePct(r.Baseline, r.OWF),
+				increasePct(r.Baseline, r.RFV), increasePct(r.Baseline, r.RegMutex))
+			n = append(n, increasePct(r.Baseline, r.NoTech))
+			ow = append(ow, increasePct(r.Baseline, r.OWF))
+			rf = append(rf, increasePct(r.Baseline, r.RFV))
+			rm = append(rm, increasePct(r.Baseline, r.RegMutex))
+		}
+		fmt.Fprintf(wr, "%-16s %10s %8.1f%% %8.1f%% %8.1f%% %8.1f%%  (paper: 22.9/20.6/5.9/10.8)\n",
+			"average", "", mean(n), mean(ow), mean(rf), mean(rm))
+		return
+	}
+	section(wr, "Figure 9a: technique comparison on the baseline (cycle reduction)")
+	fmt.Fprintf(wr, "%-16s %10s %9s %9s %9s\n", "application", "base", "OWF", "RFV", "RegMutex")
+	var ow, rf, rm []float64
+	for _, r := range rows {
+		fmt.Fprintf(wr, "%-16s %10d %8.1f%% %8.1f%% %8.1f%%\n", r.Name, r.Baseline,
+			reductionPct(r.Baseline, r.OWF), reductionPct(r.Baseline, r.RFV),
+			reductionPct(r.Baseline, r.RegMutex))
+		ow = append(ow, reductionPct(r.Baseline, r.OWF))
+		rf = append(rf, reductionPct(r.Baseline, r.RFV))
+		rm = append(rm, reductionPct(r.Baseline, r.RegMutex))
+	}
+	fmt.Fprintf(wr, "%-16s %10s %8.1f%% %8.1f%% %8.1f%%  (paper: 1.9/16.2/12.8)\n",
+		"average", "", mean(ow), mean(rf), mean(rm))
+}

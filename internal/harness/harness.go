@@ -1,0 +1,114 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (section IV) on the simulator: the same applications, the
+// same machine configurations, the same metrics, printed as the rows the
+// plots were drawn from.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"regmutex/internal/core"
+	"regmutex/internal/isa"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// Options scales and seeds an experiment run.
+type Options struct {
+	// Scale divides every workload's grid; 1 is the full evaluation,
+	// larger values make quick runs for tests and benchmarks.
+	Scale int
+	// Seed drives the deterministic input generators.
+	Seed uint64
+	// Timing overrides the simulator's timing model when non-zero.
+	Timing sim.Timing
+	// NumSMs overrides the device's SM count when non-zero (scaled-down
+	// devices keep relative results while running much faster).
+	NumSMs int
+}
+
+func (o Options) normalize() Options {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Timing.MaxCycles == 0 {
+		o.Timing = sim.DefaultTiming()
+	}
+	return o
+}
+
+func (o Options) machine(base occupancy.Config) occupancy.Config {
+	if o.NumSMs > 0 {
+		base.NumSMs = o.NumSMs
+	}
+	return base
+}
+
+// runOne simulates kernel k under pol on machine cfg with fresh inputs.
+func runOne(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, pol sim.Policy) (sim.Stats, error) {
+	global := w.Input(k, o.Seed)
+	d, err := sim.NewDevice(cfg, o.Timing, k, pol, global)
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, pol.Name(), err)
+	}
+	st, err := d.Run()
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, pol.Name(), err)
+	}
+	return st, nil
+}
+
+// baselineRun prepares and runs the untouched kernel under static
+// allocation.
+func baselineRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) (sim.Stats, error) {
+	pre, err := core.Prepare(k)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	return runOne(o, cfg, w, pre, sim.NewStaticPolicy(cfg))
+}
+
+// regmutexRun transforms (against target) and runs under the RegMutex
+// policy on machine cfg. Returns the transform result too.
+func regmutexRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, forceEs int) (sim.Stats, *core.Result, error) {
+	res, err := core.Transform(k, core.Options{Config: cfg, ForceEs: forceEs})
+	if err != nil {
+		return sim.Stats{}, nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	st, err := runOne(o, cfg, w, res.Kernel, sim.NewRegMutexPolicy(cfg))
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+	return st, res, nil
+}
+
+// pct returns the percentage change from base to v: positive = reduction.
+func reductionPct(base, v int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(v)/float64(base))
+}
+
+func increasePct(base, v int64) float64 { return -reductionPct(base, v) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// section prints a figure/table header.
+func section(wr io.Writer, title string) {
+	fmt.Fprintf(wr, "\n==== %s ====\n", title)
+}

@@ -1,0 +1,103 @@
+package isa
+
+import "testing"
+
+// TestBuilderFullSurface drives every emit method once and validates the
+// result, pinning the builder API and the per-opcode operand wiring.
+func TestBuilderFullSurface(t *testing.T) {
+	b := NewBuilder("surface", 32, 4, 64)
+	b.SetGrid(3).SetSharedMem(128).SetGlobalMem(4096)
+
+	b.MovSpecial(0, SpecTID)
+	b.MovSpecial(1, SpecCTAID)
+	b.Mov(2, Imm(5))
+	b.IAdd(3, R(2), Imm(1))
+	b.ISub(4, R(3), R(2))
+	b.IMul(5, R(4), Imm(3))
+	b.IMad(6, R(5), R(4), R(3))
+	b.IMin(7, R(6), R(5))
+	b.IMax(8, R(7), R(6))
+	b.IAbs(9, R(8))
+	b.Shl(10, R(9), Imm(2))
+	b.Shr(11, R(10), Imm(1))
+	b.And(12, R(11), Imm(255))
+	b.Or(13, R(12), Imm(1))
+	b.Xor(14, R(13), R(12))
+	b.I2F(15, R(14))
+	b.FAdd(16, R(15), FImm(0.5))
+	b.FSub(17, R(16), FImm(0.25))
+	b.FMul(18, R(17), FImm(2))
+	b.FFma(19, R(18), R(17), R(16))
+	b.FMin(20, R(19), R(18))
+	b.FMax(21, R(20), R(19))
+	b.FAbs(22, R(21))
+	b.FSqrt(23, R(22))
+	b.FRcp(24, R(23))
+	b.FSin(25, R(24))
+	b.FCos(26, R(25))
+	b.FExp(27, R(26))
+	b.FLog(28, R(27))
+	b.F2I(29, R(28))
+	b.Setp(0, CmpLT, R(29), Imm(100))
+	b.SetpF(1, CmpGE, R(28), FImm(0))
+	b.If(0)
+	b.Selp(30, R(29), Imm(0))
+	b.LdGlobal(31, R(30), 4)
+	b.StGlobal(R(30), 8, R(31))
+	b.LdShared(31, R(0), 0)
+	b.StShared(R(0), 1, R(31))
+	b.Bar()
+	b.Acq()
+	b.Rel()
+	b.Nop()
+	b.If(0)
+	b.IAdd(3, R(3), Imm(1))
+	b.IfNot(1)
+	b.IAdd(4, R(4), Imm(1))
+	b.Label("tail")
+	b.Setp(2, CmpNE, R(3), Imm(0))
+	b.BraIfNot(2, "tail2")
+	b.Label("tail2")
+	b.Exit()
+
+	k, err := b.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.GridCTAs != 3 || k.SharedMemWords != 128 || k.GlobalMemWords != 4096 {
+		t.Errorf("setters lost: %+v", k)
+	}
+	// Every opcode family must be present exactly where expected.
+	seen := map[Opcode]int{}
+	for i := range k.Instrs {
+		seen[k.Instrs[i].Op]++
+	}
+	for _, op := range []Opcode{
+		OpMovSpecial, OpMov, OpIAdd, OpISub, OpIMul, OpIMad, OpIMin, OpIMax,
+		OpIAbs, OpShl, OpShr, OpAnd, OpOr, OpXor, OpI2F, OpFAdd, OpFSub,
+		OpFMul, OpFFma, OpFMin, OpFMax, OpFAbs, OpFSqrt, OpFRcp, OpFSin,
+		OpFCos, OpFExp, OpFLog, OpF2I, OpSetp, OpSetpF, OpSelp, OpLdGlobal,
+		OpStGlobal, OpLdShared, OpStShared, OpBarSync, OpAcq, OpRel, OpNop,
+		OpBra, OpExit,
+	} {
+		if seen[op] == 0 {
+			t.Errorf("builder surface missed opcode %s", op)
+		}
+	}
+	// Guards landed where requested.
+	guarded := 0
+	for i := range k.Instrs {
+		if !k.Instrs[i].Guard.Unguarded() {
+			guarded++
+		}
+	}
+	if guarded < 4 { // selp + 2 guarded adds + guarded branch
+		t.Errorf("only %d guarded instructions", guarded)
+	}
+	// Every instruction renders and the rendering is non-empty.
+	for i := range k.Instrs {
+		if k.Instrs[i].String() == "" {
+			t.Errorf("instr %d renders empty", i)
+		}
+	}
+}

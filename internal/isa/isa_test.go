@@ -1,0 +1,225 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeMetadata(t *testing.T) {
+	for op := Opcode(0); op < Opcode(NumOpcodes); op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if n := NumSrcs(op); n < 0 || n > 3 {
+			t.Errorf("%s: NumSrcs = %d", op, n)
+		}
+	}
+	if ClassOf(OpFFma) != ClassFP || ClassOf(OpFSin) != ClassSFU ||
+		ClassOf(OpLdGlobal) != ClassMem || ClassOf(OpBra) != ClassCtrl ||
+		ClassOf(OpAcq) != ClassSync || ClassOf(OpIAdd) != ClassALU {
+		t.Error("ClassOf misclassifies")
+	}
+	if HasDst(OpStGlobal) || HasDst(OpSetp) || HasDst(OpAcq) {
+		t.Error("HasDst true for non-writing op")
+	}
+	if !HasDst(OpLdGlobal) || !HasDst(OpFFma) || !HasDst(OpMovSpecial) {
+		t.Error("HasDst false for writing op")
+	}
+}
+
+func TestUsesDefsTouches(t *testing.T) {
+	in := rrr(OpIMad, 5, R(1), Imm(3), R(2))
+	if got := in.Uses(); got != NewRegSet(1, 2) {
+		t.Errorf("Uses = %s", got)
+	}
+	if got := in.Defs(); got != NewRegSet(5) {
+		t.Errorf("Defs = %s", got)
+	}
+	if got := in.Touches(); got != NewRegSet(1, 2, 5) {
+		t.Errorf("Touches = %s", got)
+	}
+
+	st := NewInstr(OpStGlobal)
+	st.Srcs[0] = R(7)
+	st.Srcs[1] = R(9)
+	if got := st.Uses(); got != NewRegSet(7, 9) {
+		t.Errorf("store Uses = %s (address and data must both count)", got)
+	}
+	if !st.Defs().Empty() {
+		t.Error("store should not define registers")
+	}
+}
+
+func TestRoundRegs(t *testing.T) {
+	cases := map[int]int{1: 4, 4: 4, 5: 8, 21: 24, 24: 24, 25: 28, 30: 32, 32: 32, 33: 36, 44: 44}
+	for in, want := range cases {
+		if got := RoundRegs(in); got != want {
+			t.Errorf("RoundRegs(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func buildLoopKernel(t *testing.T) *Kernel {
+	t.Helper()
+	b := NewBuilder("loopy", 8, 2, 64)
+	b.MovSpecial(0, SpecTID)
+	b.Mov(1, Imm(0))
+	b.Label("top")
+	b.IAdd(1, R(1), Imm(1))
+	b.Setp(0, CmpLT, R(1), Imm(10))
+	b.BraIf(0, "top")
+	b.Exit()
+	k, err := b.Kernel()
+	if err != nil {
+		t.Fatalf("Kernel: %v", err)
+	}
+	return k
+}
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	k := buildLoopKernel(t)
+	var bra *Instr
+	for i := range k.Instrs {
+		if k.Instrs[i].Op == OpBra {
+			bra = &k.Instrs[i]
+		}
+	}
+	if bra == nil {
+		t.Fatal("no branch emitted")
+	}
+	if bra.Target != 2 {
+		t.Errorf("branch target = %d, want 2", bra.Target)
+	}
+	if bra.Guard.Unguarded() || bra.Guard.Pred != 0 {
+		t.Errorf("branch guard = %+v", bra.Guard)
+	}
+	if k.Instrs[2].Label != "top" {
+		t.Errorf("label not recorded on target instruction: %q", k.Instrs[2].Label)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad", 4, 1, 32)
+	b.Bra("nowhere")
+	b.Exit()
+	if _, err := b.Kernel(); err == nil {
+		t.Error("undefined label should fail")
+	}
+
+	b2 := NewBuilder("dup", 4, 1, 32)
+	b2.Label("x")
+	b2.Nop()
+	b2.Label("x")
+	b2.Exit()
+	if _, err := b2.Kernel(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+
+	b3 := NewBuilder("dangling", 4, 1, 32)
+	b3.Nop()
+	b3.Label("end")
+	if _, err := b3.Kernel(); err == nil {
+		t.Error("trailing label should fail")
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	mk := func(mut func(*Kernel)) error {
+		b := NewBuilder("v", 4, 1, 32)
+		b.Mov(0, Imm(1))
+		b.Exit()
+		k := b.MustKernel()
+		mut(k)
+		return k.Validate()
+	}
+	if err := mk(func(k *Kernel) {}); err != nil {
+		t.Fatalf("baseline kernel invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Kernel)
+	}{
+		{"reg out of range", func(k *Kernel) { k.Instrs[0].Dst = 9 }},
+		{"bad threads", func(k *Kernel) { k.ThreadsPerCTA = 33 }},
+		{"bad grid", func(k *Kernel) { k.GridCTAs = 0 }},
+		{"bad split", func(k *Kernel) { k.BaseSet = 2; k.ExtSet = 1 }},
+		{"fallthrough end", func(k *Kernel) { k.Instrs[1] = NewInstr(OpNop) }},
+		{"bad branch target", func(k *Kernel) {
+			in := NewInstr(OpBra)
+			in.Target = 99
+			k.Instrs[0] = in
+		}},
+		{"missing dst", func(k *Kernel) { k.Instrs[0].Dst = NoReg }},
+	}
+	for _, c := range cases {
+		if err := mk(c.mut); err == nil {
+			t.Errorf("%s: Validate accepted invalid kernel", c.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	k := buildLoopKernel(t)
+	k.Instrs[0].DeadAfter = []Reg{3}
+	c := k.Clone()
+	c.Instrs[0].Dst = 7
+	c.Instrs[0].DeadAfter[0] = 1
+	if k.Instrs[0].Dst == 7 {
+		t.Error("Clone shares Instrs")
+	}
+	if k.Instrs[0].DeadAfter[0] != 3 {
+		t.Error("Clone shares DeadAfter")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{rrr(OpIAdd, 2, R(1), Imm(4)), "iadd r2, r1, 4"},
+		{NewInstr(OpExit), "exit"},
+		{NewInstr(OpAcq), "acq"},
+	}
+	ld := NewInstr(OpLdGlobal)
+	ld.Dst = 3
+	ld.Srcs[0] = R(1)
+	ld.Off = 8
+	cases = append(cases, struct {
+		in   Instr
+		want string
+	}{ld, "ld.global r3, [r1+8]"})
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -3.25, 1e300} {
+		if B2F(F2B(f)) != f {
+			t.Errorf("round trip failed for %g", f)
+		}
+	}
+}
+
+func TestKernelResourceHelpers(t *testing.T) {
+	k := buildLoopKernel(t)
+	if k.WarpsPerCTA() != 2 {
+		t.Errorf("WarpsPerCTA = %d, want 2", k.WarpsPerCTA())
+	}
+	if k.AllocRegs() != 8 {
+		t.Errorf("AllocRegs = %d, want 8", k.AllocRegs())
+	}
+	if k.HasExtendedSet() {
+		t.Error("untransformed kernel should have no extended set")
+	}
+	k.BaseSet, k.ExtSet = 6, 2
+	if !k.HasExtendedSet() {
+		t.Error("split kernel should report extended set")
+	}
+	if k.MaxTouchedReg() != 1 {
+		t.Errorf("MaxTouchedReg = %d, want 1", k.MaxTouchedReg())
+	}
+}

@@ -1,0 +1,198 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// F2B converts a float64 value to its register bit pattern.
+func F2B(f float64) uint64 { return math.Float64bits(f) }
+
+// B2F converts a register bit pattern to its float64 value.
+func B2F(b uint64) float64 { return math.Float64frombits(b) }
+
+// Kernel is one GPU kernel: its code plus the static launch resources that
+// determine theoretical occupancy (registers per thread, CTA shape, shared
+// memory) and, after the RegMutex compiler pass, the |Bs| / |Es| split that
+// is supplied to the hardware at launch (paper section III-B2).
+type Kernel struct {
+	Name   string
+	Instrs []Instr
+
+	// NumRegs is the number of architected registers per thread the
+	// kernel asks for (the unrounded "# Regs." column of Table I).
+	NumRegs int
+	// NumPRegs is the number of predicate registers used.
+	NumPRegs int
+
+	// ThreadsPerCTA is the CTA (thread block) size.
+	ThreadsPerCTA int
+	// SharedMemWords is the CTA's shared-memory footprint in 8-byte
+	// words (the simulator's shared memory is word addressed).
+	SharedMemWords int
+	// GridCTAs is the default launch grid size.
+	GridCTAs int
+	// GlobalMemWords is the size of device global memory the kernel's
+	// input generator fills, in words.
+	GlobalMemWords int
+
+	// BaseSet is |Bs|. When BaseSet == NumRegs (or 0 before the pass),
+	// the kernel has a zero-sized extended set and executes exactly as
+	// on the baseline.
+	BaseSet int
+	// ExtSet is |Es|; BaseSet + ExtSet covers every architected
+	// register the kernel touches.
+	ExtSet int
+}
+
+// WarpSize is the SIMD width: threads per warp.
+const WarpSize = 32
+
+// WarpsPerCTA returns the number of warps needed for one CTA.
+func (k *Kernel) WarpsPerCTA() int {
+	return (k.ThreadsPerCTA + WarpSize - 1) / WarpSize
+}
+
+// AllocRegs returns the per-thread register count the hardware uses for
+// resource allocation: NumRegs rounded up to a multiple of 4, the Fermi
+// allocation granule (the parenthesised column of Table I).
+func (k *Kernel) AllocRegs() int { return RoundRegs(k.NumRegs) }
+
+// RoundRegs rounds a register count up to the hardware allocation granule.
+func RoundRegs(n int) int { return (n + 3) &^ 3 }
+
+// HasExtendedSet reports whether the kernel was compiled with a non-empty
+// extended register set.
+func (k *Kernel) HasExtendedSet() bool {
+	return k.ExtSet > 0 && k.BaseSet > 0 && k.BaseSet < k.NumRegsEffective()
+}
+
+// NumRegsEffective is the architected register budget the split must
+// cover: the rounded allocation count, since |Bs| + |Es| equals the total
+// the kernel asks the hardware for (section III-A2).
+func (k *Kernel) NumRegsEffective() int { return k.AllocRegs() }
+
+// Validate checks structural invariants: operand counts, register bounds,
+// branch targets, and RegMutex annotations. The simulator and the
+// compiler both refuse kernels that fail validation.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return errors.New("isa: kernel has no name")
+	}
+	if len(k.Instrs) == 0 {
+		return fmt.Errorf("isa: kernel %s has no instructions", k.Name)
+	}
+	if k.NumRegs <= 0 || k.NumRegs > MaxRegs {
+		return fmt.Errorf("isa: kernel %s: NumRegs %d out of range (1..%d)", k.Name, k.NumRegs, MaxRegs)
+	}
+	if k.NumPRegs < 0 || k.NumPRegs > MaxPRegs {
+		return fmt.Errorf("isa: kernel %s: NumPRegs %d out of range", k.Name, k.NumPRegs)
+	}
+	if k.ThreadsPerCTA <= 0 || k.ThreadsPerCTA%WarpSize != 0 {
+		return fmt.Errorf("isa: kernel %s: ThreadsPerCTA %d must be a positive multiple of %d", k.Name, k.ThreadsPerCTA, WarpSize)
+	}
+	if k.GridCTAs <= 0 {
+		return fmt.Errorf("isa: kernel %s: GridCTAs %d must be positive", k.Name, k.GridCTAs)
+	}
+	if k.BaseSet != 0 || k.ExtSet != 0 {
+		if k.BaseSet <= 0 || k.ExtSet < 0 || k.BaseSet+k.ExtSet < k.NumRegs {
+			return fmt.Errorf("isa: kernel %s: invalid register split Bs=%d Es=%d for %d regs",
+				k.Name, k.BaseSet, k.ExtSet, k.NumRegs)
+		}
+	}
+	for i := range k.Instrs {
+		if err := k.validateInstr(i); err != nil {
+			return err
+		}
+	}
+	last := k.Instrs[len(k.Instrs)-1]
+	if last.Op != OpExit && !(last.Op == OpBra && last.Guard.Unguarded()) {
+		return fmt.Errorf("isa: kernel %s: control can fall off the end (last op %s)", k.Name, last.Op)
+	}
+	return nil
+}
+
+func (k *Kernel) validateInstr(i int) error {
+	in := &k.Instrs[i]
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("isa: kernel %s, instr %d (%s): %s", k.Name, i, in, fmt.Sprintf(format, args...))
+	}
+	checkReg := func(r Reg) error {
+		if int(r) >= k.NumRegs {
+			return fail("register %s out of range (kernel uses %d)", r, k.NumRegs)
+		}
+		return nil
+	}
+	if HasDst(in.Op) {
+		if in.Dst == NoReg {
+			return fail("missing destination register")
+		}
+		if err := checkReg(in.Dst); err != nil {
+			return err
+		}
+	} else if in.Dst != NoReg {
+		return fail("unexpected destination register")
+	}
+	for s := 0; s < NumSrcs(in.Op); s++ {
+		o := in.Srcs[s]
+		switch o.Kind {
+		case OpndReg:
+			if err := checkReg(o.Reg); err != nil {
+				return err
+			}
+		case OpndImm:
+			// fine
+		default:
+			return fail("source %d is missing", s)
+		}
+	}
+	if in.Op == OpSetp || in.Op == OpSetpF {
+		if in.PDst == NoPReg || int(in.PDst) >= k.NumPRegs {
+			return fail("setp predicate destination %s out of range", in.PDst)
+		}
+	}
+	if !in.Guard.Unguarded() && int(in.Guard.Pred) >= k.NumPRegs {
+		return fail("guard predicate %s out of range", in.Guard.Pred)
+	}
+	if in.Op == OpSelp && in.Guard.Unguarded() {
+		return fail("selp requires a guard predicate as selector")
+	}
+	if in.Op == OpBra {
+		if in.Target < 0 || in.Target >= len(k.Instrs) {
+			return fail("branch target %d out of range", in.Target)
+		}
+		if in.Reconv < -1 || in.Reconv > len(k.Instrs) {
+			return fail("reconvergence point %d out of range", in.Reconv)
+		}
+	}
+	return nil
+}
+
+// MaxTouchedReg returns the highest architected register index any
+// instruction touches, or -1 for a (degenerate) kernel touching none.
+func (k *Kernel) MaxTouchedReg() int {
+	max := -1
+	for i := range k.Instrs {
+		k.Instrs[i].Touches().ForEach(func(r Reg) {
+			if int(r) > max {
+				max = int(r)
+			}
+		})
+	}
+	return max
+}
+
+// Clone returns a deep copy of the kernel; compiler passes transform the
+// copy so callers keep the original.
+func (k *Kernel) Clone() *Kernel {
+	nk := *k
+	nk.Instrs = make([]Instr, len(k.Instrs))
+	copy(nk.Instrs, k.Instrs)
+	for i := range nk.Instrs {
+		if d := k.Instrs[i].DeadAfter; d != nil {
+			nk.Instrs[i].DeadAfter = append([]Reg(nil), d...)
+		}
+	}
+	return &nk
+}

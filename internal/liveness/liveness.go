@@ -1,0 +1,231 @@
+// Package liveness implements the static register liveness analysis of
+// paper section III-A1: a backward dataflow over the kernel CFG, widened
+// conservatively across divergent regions. A register defined before a
+// branch and used inside any arm is treated as live throughout every arm;
+// a register defined inside an arm and used after the reconvergence point
+// is treated as live throughout the other arms too (the R3 and R2 cases of
+// Figure 3). The result drives extended-set sizing, acquire/release
+// placement, index compaction, and the dead-value metadata consumed by the
+// RFV baseline.
+package liveness
+
+import (
+	"regmutex/internal/cfg"
+	"regmutex/internal/isa"
+)
+
+// Info is the result of Analyze.
+type Info struct {
+	Kernel *isa.Kernel
+	Graph  *cfg.Graph
+
+	// LiveIn and LiveOut are per-instruction live sets after divergence
+	// widening. LiveIn[i] is the set live immediately before instruction
+	// i executes.
+	LiveIn  []isa.RegSet
+	LiveOut []isa.RegSet
+
+	// MaxLive is the maximum of LiveAt over all instructions: the
+	// paper's "maximum number of live registers at any given point".
+	MaxLive int
+
+	// MaxLiveAtBarrier is the maximum live count at any bar.sync
+	// instruction; the deadlock-avoidance rule requires |Bs| to be at
+	// least this (section III-A2).
+	MaxLiveAtBarrier int
+}
+
+// Analyze computes widened liveness for k over its CFG g.
+func Analyze(k *isa.Kernel, g *cfg.Graph) *Info {
+	n := len(k.Instrs)
+	inf := &Info{
+		Kernel:  k,
+		Graph:   g,
+		LiveIn:  make([]isa.RegSet, n),
+		LiveOut: make([]isa.RegSet, n),
+	}
+	base := inf.dataflow(nil)
+	overlay := make([]isa.RegSet, n)
+	// Widen divergent regions to a fixpoint. Each round recomputes the
+	// effective live sets (dataflow ∪ overlay) and grows the overlay;
+	// the overlay only ever grows, so this terminates.
+	for {
+		changed := false
+		liveIn := make([]isa.RegSet, n)
+		liveOut := make([]isa.RegSet, n)
+		for i := 0; i < n; i++ {
+			liveIn[i] = base.in[i] | overlay[i]
+			liveOut[i] = base.out[i] | overlay[i]
+		}
+		for i := 0; i < n; i++ {
+			br := &k.Instrs[i]
+			if br.Op != isa.OpBra || br.Guard.Unguarded() {
+				continue // only guarded branches diverge
+			}
+			bb := g.BlockOf(i)
+			region := g.RegionBlocks(bb)
+			if len(region) == 0 {
+				continue
+			}
+			// Registers defined anywhere inside the region.
+			var regionDefs isa.RegSet
+			for _, rb := range region {
+				blk := g.Blocks[rb]
+				for t := blk.Start; t < blk.End; t++ {
+					regionDefs |= k.Instrs[t].Defs()
+				}
+			}
+			// Rule 1: live across the branch -> live throughout all arms.
+			widen := liveOut[i]
+			// Rule 2: defined in an arm and live at reconvergence ->
+			// live throughout all arms.
+			if rpc := g.ReconvPC(i); rpc >= 0 {
+				widen |= liveIn[rpc] & regionDefs
+			}
+			if widen == 0 {
+				continue
+			}
+			for _, rb := range region {
+				blk := g.Blocks[rb]
+				for t := blk.Start; t < blk.End; t++ {
+					if overlay[t]|widen != overlay[t] {
+						overlay[t] |= widen
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			for i := 0; i < n; i++ {
+				inf.LiveIn[i] = liveIn[i]
+				inf.LiveOut[i] = liveOut[i]
+			}
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c := inf.LiveIn[i].Count(); c > inf.MaxLive {
+			inf.MaxLive = c
+		}
+		if k.Instrs[i].Op == isa.OpBarSync {
+			if c := inf.LiveIn[i].Count(); c > inf.MaxLiveAtBarrier {
+				inf.MaxLiveAtBarrier = c
+			}
+		}
+	}
+	return inf
+}
+
+type flowSets struct {
+	in, out []isa.RegSet
+}
+
+// dataflow runs the classic backward may-liveness iteration at instruction
+// granularity. extra, when non-nil, is OR-ed into every live-in (unused
+// today; kept for the widening recomputation path).
+func (inf *Info) dataflow(extra []isa.RegSet) flowSets {
+	k := inf.Kernel
+	n := len(k.Instrs)
+	in := make([]isa.RegSet, n)
+	out := make([]isa.RegSet, n)
+	succs := make([][2]int, n) // -1 terminated successor list
+	for i := 0; i < n; i++ {
+		succs[i] = [2]int{-1, -1}
+		instr := &k.Instrs[i]
+		switch instr.Op {
+		case isa.OpExit:
+			// no successors
+		case isa.OpBra:
+			succs[i][0] = instr.Target
+			if !instr.Guard.Unguarded() && i+1 < n {
+				succs[i][1] = i + 1
+			}
+		default:
+			if i+1 < n {
+				succs[i][0] = i + 1
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var o isa.RegSet
+			for _, s := range succs[i] {
+				if s >= 0 {
+					o |= in[s]
+				}
+			}
+			instr := &k.Instrs[i]
+			kill := isa.RegSet(0)
+			if instr.Guard.Unguarded() || instr.Op == isa.OpSelp {
+				// A guarded definition is conditional: it cannot kill
+				// the incoming value, because inactive lanes keep it.
+				// SELP is the exception — its "guard" is a selector
+				// and every lane writes the destination.
+				kill = instr.Defs()
+			}
+			ni := instr.Uses() | (o &^ kill)
+			if extra != nil {
+				ni |= extra[i]
+			}
+			if ni != in[i] || o != out[i] {
+				in[i], out[i] = ni, o
+				changed = true
+			}
+		}
+	}
+	return flowSets{in: in, out: out}
+}
+
+// LiveAt returns the live set at instruction i, counting registers the
+// instruction itself touches (a register being written is "in use" at
+// that point for allocation purposes).
+func (inf *Info) LiveAt(i int) isa.RegSet {
+	return inf.LiveIn[i] | inf.Kernel.Instrs[i].Touches()
+}
+
+// CountAt returns the number of live registers at instruction i.
+func (inf *Info) CountAt(i int) int { return inf.LiveAt(i).Count() }
+
+// UndefinedAtEntry returns registers that may be read before any
+// definition (LiveIn of the entry). Well-formed kernels keep this empty;
+// tests assert it.
+func (inf *Info) UndefinedAtEntry() isa.RegSet {
+	if len(inf.LiveIn) == 0 {
+		return 0
+	}
+	return inf.LiveIn[0]
+}
+
+// AnnotateDeadAfter fills Instr.DeadAfter on k's instructions: the
+// registers whose conservative live range ends right after each
+// instruction. This is the compiler-embedded dead-value information the
+// register-file-virtualization baseline (Jeon et al. [3]) consumes to
+// release physical registers early. Values that die on a CFG edge rather
+// than at an instruction (a loop counter on the loop-exit edge, say) are
+// not annotated anywhere; their physical rows are reclaimed at warp exit,
+// which is conservative.
+func (inf *Info) AnnotateDeadAfter(k *isa.Kernel) {
+	for i := range k.Instrs {
+		alive := inf.LiveIn[i] | k.Instrs[i].Touches()
+		dead := alive.Diff(inf.LiveOut[i])
+		if dead.Empty() {
+			k.Instrs[i].DeadAfter = nil
+			continue
+		}
+		k.Instrs[i].DeadAfter = dead.Regs()
+	}
+}
+
+// Profile returns, for every instruction, the fraction of the kernel's
+// allocated registers that are live there: the quantity plotted per
+// executed instruction in Figure 1 of the paper.
+func (inf *Info) Profile() []float64 {
+	alloc := inf.Kernel.AllocRegs()
+	out := make([]float64, len(inf.LiveIn))
+	for i := range out {
+		out[i] = float64(inf.CountAt(i)) / float64(alloc)
+	}
+	return out
+}

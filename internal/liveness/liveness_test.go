@@ -1,0 +1,263 @@
+package liveness
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regmutex/internal/cfg"
+	"regmutex/internal/isa"
+)
+
+func analyze(t *testing.T, k *isa.Kernel) *Info {
+	t.Helper()
+	g, err := cfg.Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(k, g)
+}
+
+func TestStraightLineLiveness(t *testing.T) {
+	// r0 = 1; r1 = r0+1; r2 = r1+r0; st [r2]; exit
+	b := isa.NewBuilder("line", 4, 1, 32)
+	b.Mov(0, isa.Imm(1))
+	b.IAdd(1, isa.R(0), isa.Imm(1))
+	b.IAdd(2, isa.R(1), isa.R(0))
+	b.StGlobal(isa.R(2), 0, isa.R(2))
+	b.Exit()
+	inf := analyze(t, b.MustKernel())
+
+	if !inf.UndefinedAtEntry().Empty() {
+		t.Errorf("undefined at entry: %s", inf.UndefinedAtEntry())
+	}
+	// r0 live after instr 0 until instr 2 (its last use).
+	if !inf.LiveOut[0].Has(0) || !inf.LiveIn[2].Has(0) {
+		t.Error("r0 live range wrong")
+	}
+	if inf.LiveOut[2].Has(0) {
+		t.Error("r0 should be dead after its last use")
+	}
+	if inf.MaxLive != 2 {
+		t.Errorf("MaxLive = %d, want 2", inf.MaxLive)
+	}
+}
+
+// figure3 mirrors the paper's Figure 3 scenario:
+//
+//	s1:   r1 defined and last-used inside s1 (plain intra-block range)
+//	      r3 defined before the branch, used only in the THEN arm
+//	      r2 defined only in the ELSE arm, used after the join
+//	branch: @p0 bra then
+//	else (s1 tail): r2 = ...
+//	then (s2):      ... = r3
+//	join (s3):      ... = r2
+func figure3(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("figure3", 8, 2, 32)
+	b.Mov(1, isa.Imm(7))                       // 0: r1 def
+	b.IAdd(4, isa.R(1), isa.Imm(1))            // 1: r1 last use
+	b.Mov(3, isa.Imm(5))                       // 2: r3 def (used in THEN only)
+	b.Setp(0, isa.CmpLT, isa.R(4), isa.Imm(3)) // 3
+	b.BraIf(0, "then")                         // 4
+	b.Mov(2, isa.Imm(9))                       // 5: ELSE: r2 def
+	b.Bra("join")                              // 6
+	b.Label("then")                            //
+	b.IAdd(5, isa.R(3), isa.Imm(1))            // 7: THEN: r3 use
+	b.Label("join")                            //
+	b.IAdd(6, isa.R(2), isa.Imm(2))            // 8: JOIN: r2 use
+	b.Exit()                                   // 9
+	return b.MustKernel()
+}
+
+func TestDivergenceWideningRule1(t *testing.T) {
+	// r3 is used only in the THEN arm, but must be considered live in
+	// the ELSE arm too (paper Figure 3, register R3).
+	inf := analyze(t, figure3(t))
+	if !inf.LiveIn[5].Has(3) {
+		t.Errorf("r3 not live in ELSE arm: LiveIn[5] = %s", inf.LiveIn[5])
+	}
+}
+
+func TestDivergenceWideningRule2(t *testing.T) {
+	// r2 is defined in the ELSE arm and used at the join, so it must be
+	// considered live throughout the THEN arm too (Figure 3, R2).
+	inf := analyze(t, figure3(t))
+	if !inf.LiveIn[7].Has(2) {
+		t.Errorf("r2 not live in THEN arm: LiveIn[7] = %s", inf.LiveIn[7])
+	}
+}
+
+func TestGuardedDefDoesNotKill(t *testing.T) {
+	// r1 = 1; @p0 r1 = 2; use r1 — the guarded def must not kill the
+	// incoming value, so the first def's value stays live across it.
+	b := isa.NewBuilder("guard", 4, 1, 32)
+	b.Mov(1, isa.Imm(1))
+	b.Setp(0, isa.CmpLT, isa.R(0), isa.Imm(3))
+	b.If(0)
+	b.Mov(1, isa.Imm(2))
+	b.IAdd(2, isa.R(1), isa.Imm(1))
+	b.Exit()
+	inf := analyze(t, b.MustKernel())
+	if !inf.LiveOut[0].Has(1) || !inf.LiveIn[2].Has(1) {
+		t.Error("guarded def killed the live range")
+	}
+}
+
+func TestLoopLiveness(t *testing.T) {
+	// Loop counter and accumulator live around the back edge.
+	b := isa.NewBuilder("loop", 8, 2, 32)
+	b.Mov(0, isa.Imm(0)) // counter
+	b.Mov(1, isa.Imm(0)) // accumulator
+	b.Label("top")
+	b.IAdd(1, isa.R(1), isa.R(0))
+	b.IAdd(0, isa.R(0), isa.Imm(1))
+	b.Setp(0, isa.CmpLT, isa.R(0), isa.Imm(8))
+	b.BraIf(0, "top")
+	b.StGlobal(isa.R(0), 0, isa.R(1))
+	b.Exit()
+	inf := analyze(t, b.MustKernel())
+	// Both r0 and r1 live at the loop head.
+	if !inf.LiveIn[2].Has(0) || !inf.LiveIn[2].Has(1) {
+		t.Errorf("loop-carried registers not live at head: %s", inf.LiveIn[2])
+	}
+	if inf.MaxLive < 2 {
+		t.Errorf("MaxLive = %d", inf.MaxLive)
+	}
+}
+
+func TestMaxLiveAtBarrier(t *testing.T) {
+	b := isa.NewBuilder("bar", 8, 1, 64)
+	b.Mov(0, isa.Imm(1))
+	b.Mov(1, isa.Imm(2))
+	b.Mov(2, isa.Imm(3))
+	b.Bar()
+	b.IAdd(3, isa.R(0), isa.R(1))
+	b.IAdd(3, isa.R(3), isa.R(2))
+	b.StGlobal(isa.R(3), 0, isa.R(3))
+	b.Exit()
+	inf := analyze(t, b.MustKernel())
+	if inf.MaxLiveAtBarrier != 3 {
+		t.Errorf("MaxLiveAtBarrier = %d, want 3", inf.MaxLiveAtBarrier)
+	}
+}
+
+func TestAnnotateDeadAfter(t *testing.T) {
+	b := isa.NewBuilder("dead", 4, 1, 32)
+	b.Mov(0, isa.Imm(1))
+	b.IAdd(1, isa.R(0), isa.Imm(1)) // r0 dies here
+	b.StGlobal(isa.R(1), 0, isa.R(1))
+	b.Exit()
+	k := b.MustKernel()
+	inf := analyze(t, k)
+	inf.AnnotateDeadAfter(k)
+	found := false
+	for _, r := range k.Instrs[1].DeadAfter {
+		if r == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("r0 not in DeadAfter of its last use: %v", k.Instrs[1].DeadAfter)
+	}
+	// Every register eventually dies: union of DeadAfter covers all
+	// defined registers.
+	var dead isa.RegSet
+	for i := range k.Instrs {
+		for _, r := range k.Instrs[i].DeadAfter {
+			dead = dead.Add(r)
+		}
+	}
+	if !dead.Has(0) || !dead.Has(1) {
+		t.Errorf("DeadAfter union = %s, want r0 and r1", dead)
+	}
+}
+
+func TestProfileBounds(t *testing.T) {
+	inf := analyze(t, figure3(t))
+	for i, f := range inf.Profile() {
+		if f < 0 || f > 1 {
+			t.Errorf("profile[%d] = %f out of [0,1]", i, f)
+		}
+	}
+}
+
+// Property: on random straight-line kernels, liveness only contains
+// registers that are actually used somewhere, and every LiveIn is a subset
+// of the union of uses.
+func TestLivenessSubsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int((rng >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		b := isa.NewBuilder("prop", 16, 1, 32)
+		b.Mov(isa.Reg(0), isa.Imm(1))
+		nInstr := 5 + next(20)
+		maxDef := 0
+		for i := 0; i < nInstr; i++ {
+			d := isa.Reg(next(16))
+			// sources only from already-defined registers
+			a := isa.Reg(next(maxDef + 1))
+			c := isa.Reg(next(maxDef + 1))
+			b.IAdd(d, isa.R(a), isa.R(c))
+			if int(d) > maxDef {
+				maxDef = int(d)
+			}
+		}
+		b.Exit()
+		k, err := b.Kernel()
+		if err != nil {
+			return false
+		}
+		g, err := cfg.Build(k)
+		if err != nil {
+			return false
+		}
+		inf := Analyze(k, g)
+		var used isa.RegSet
+		for i := range k.Instrs {
+			used |= k.Instrs[i].Uses()
+		}
+		for i := range k.Instrs {
+			if !inf.LiveIn[i].Diff(used).Empty() {
+				return false
+			}
+			if !inf.LiveOut[i].Diff(used).Empty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: live sets are consistent: LiveOut[i] == union of LiveIn of
+// successors for straight-line code (i+1 only).
+func TestLivenessFlowConsistency(t *testing.T) {
+	k := figure3(t)
+	inf := analyze(t, k)
+	for i := 0; i < len(k.Instrs); i++ {
+		in := &k.Instrs[i]
+		if in.Op == isa.OpBra || in.Op == isa.OpExit {
+			continue
+		}
+		if i+1 < len(k.Instrs) {
+			// widened sets: LiveOut must still contain successor LiveIn
+			// minus what the successor's widening added... the overlay
+			// applies to both, so containment holds directly.
+			missing := inf.LiveIn[i+1].Diff(inf.LiveOut[i] | k.Instrs[i+1].Defs())
+			// Registers whose first action at i+1 is a pure def are not
+			// live-in there, so missing should be empty.
+			if !missing.Diff(inf.LiveIn[i+1]).Empty() {
+				t.Errorf("flow inconsistency at %d: %s", i, missing)
+			}
+		}
+	}
+}

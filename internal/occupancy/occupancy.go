@@ -1,0 +1,189 @@
+// Package occupancy computes theoretical SM occupancy the way the paper's
+// evaluation does: CTAs per SM limited by registers, shared memory,
+// threads, and the CTA cap, on a Fermi (GeForce GTX480) style machine.
+// RegMutex recomputes occupancy with |Bs| in place of the full register
+// demand; the freed registers become the Shared Register Pool (section
+// III-A2).
+package occupancy
+
+import "regmutex/internal/isa"
+
+// Config describes the per-SM resources that bound occupancy, plus the
+// device-level SM count used by the simulator.
+type Config struct {
+	Name string
+
+	NumSMs           int // SMs on the device
+	MaxWarpsPerSM    int // Nw, scheduler residency slots
+	MaxCTAsPerSM     int
+	MaxThreadsPerSM  int
+	RegistersPerSM   int // 32-bit registers in the register file
+	SharedWordsPerSM int // shared memory per SM in 8-byte words
+	SchedulersPerSM  int
+}
+
+// GTX480 is the baseline machine of the paper's evaluation: 15 SMs,
+// 128 KB register file per SM (32 K 32-bit registers), up to 48 resident
+// warps, 2 warp schedulers, greedy-then-oldest scheduling.
+func GTX480() Config {
+	return Config{
+		Name:             "gtx480",
+		NumSMs:           15,
+		MaxWarpsPerSM:    48,
+		MaxCTAsPerSM:     8,
+		MaxThreadsPerSM:  1536,
+		RegistersPerSM:   32768,
+		SharedWordsPerSM: 48 * 1024 / 8,
+		SchedulersPerSM:  2,
+	}
+}
+
+// GTX480Half is the register-file-size-reduction machine of section IV-B:
+// the baseline with the register file halved to 64 KB per SM.
+func GTX480Half() Config {
+	c := GTX480()
+	c.Name = "gtx480-halfrf"
+	c.RegistersPerSM /= 2
+	return c
+}
+
+// K20 approximates a Kepler-class SMX: twice the register file (256 KB)
+// but also more resident warps (64) and schedulers (4). As the paper
+// argues in section IV, the registers-per-warp-slot ratio stays at 32, so
+// "having more than 32 registers per thread definitely results in
+// incomplete occupancy" on newer architectures too — the generality
+// experiment (cmd/paperbench -exp generality) runs the high-register
+// kernels on this machine.
+func K20() Config {
+	return Config{
+		Name:             "k20",
+		NumSMs:           13,
+		MaxWarpsPerSM:    64,
+		MaxCTAsPerSM:     16,
+		MaxThreadsPerSM:  2048,
+		RegistersPerSM:   65536,
+		SharedWordsPerSM: 48 * 1024 / 8,
+		SchedulersPerSM:  4,
+	}
+}
+
+// WarpRegisters returns the register file capacity in warp-register rows:
+// one row holds one architected register for all 32 lanes of a warp
+// (1024 rows on the baseline, matching the paper's arithmetic).
+func (c Config) WarpRegisters() int { return c.RegistersPerSM / isa.WarpSize }
+
+// Result is a theoretical occupancy computation.
+type Result struct {
+	CTAsPerSM  int
+	WarpsPerSM int
+	Limiter    string  // which resource bound first
+	Occupancy  float64 // WarpsPerSM / MaxWarpsPerSM
+	RegsPerCTA int     // register rows consumed per CTA at this demand
+}
+
+// Compute returns the theoretical occupancy for a kernel demanding
+// regsPerThread registers (already rounded if the caller wants hardware
+// rounding), with the kernel's CTA shape.
+func Compute(c Config, k *isa.Kernel, regsPerThread int) Result {
+	warpsPerCTA := k.WarpsPerCTA()
+	res := Result{}
+	limit := func(name string, ctas int) {
+		if res.Limiter == "" || ctas < res.CTAsPerSM {
+			res.CTAsPerSM = ctas
+			res.Limiter = name
+		}
+	}
+
+	// CTA slot cap.
+	limit("ctas", c.MaxCTAsPerSM)
+	// Thread cap.
+	limit("threads", c.MaxThreadsPerSM/k.ThreadsPerCTA)
+	// Warp slot cap.
+	limit("warps", c.MaxWarpsPerSM/warpsPerCTA)
+	// Register cap: each CTA consumes warpsPerCTA * regsPerThread rows.
+	regsPerCTA := warpsPerCTA * regsPerThread
+	res.RegsPerCTA = regsPerCTA
+	if regsPerCTA > 0 {
+		limit("registers", c.WarpRegisters()/regsPerCTA)
+	}
+	// Shared memory cap.
+	if k.SharedMemWords > 0 {
+		limit("shared", c.SharedWordsPerSM/k.SharedMemWords)
+	}
+
+	if res.CTAsPerSM < 0 {
+		res.CTAsPerSM = 0
+	}
+	res.WarpsPerSM = res.CTAsPerSM * warpsPerCTA
+	res.Occupancy = float64(res.WarpsPerSM) / float64(c.MaxWarpsPerSM)
+	return res
+}
+
+// Baseline computes occupancy for a kernel under the default static,
+// exclusive allocation: the hardware rounds the register demand up to the
+// allocation granule.
+func Baseline(c Config, k *isa.Kernel) Result {
+	return Compute(c, k, k.AllocRegs())
+}
+
+// WithBaseSet computes occupancy as RegMutex does, charging only |Bs|
+// statically per thread.
+func WithBaseSet(c Config, k *isa.Kernel, bs int) Result {
+	return Compute(c, k, bs)
+}
+
+// SRPSections returns how many extended register sets the Shared Register
+// Pool can hold once residentWarps warps have claimed bs rows each, and
+// the pool's starting row offset. Sections are capped at MaxWarpsPerSM
+// because the SRP bitmask has Nw bits (section III-B1).
+func SRPSections(c Config, residentWarps, bs, es int) (sections, srpOffsetRows int) {
+	if es <= 0 {
+		return 0, 0
+	}
+	used := residentWarps * bs
+	free := c.WarpRegisters() - used
+	if free < 0 {
+		free = 0
+	}
+	sections = free / es
+	if sections > c.MaxWarpsPerSM {
+		sections = c.MaxWarpsPerSM
+	}
+	return sections, used
+}
+
+// PairedPairs returns how many warp pairs fit under the paired-warps
+// specialisation (section III-C), where each pair statically owns
+// 2·|Bs| + |Es| register rows.
+func PairedPairs(c Config, k *isa.Kernel, bs, es int) Result {
+	warpsPerCTA := k.WarpsPerCTA()
+	perPair := 2*bs + es
+	res := Result{Limiter: "registers"}
+	if perPair <= 0 {
+		return Baseline(c, k)
+	}
+	pairs := c.WarpRegisters() / perPair
+	warps := pairs * 2
+	// Respect the other caps by converting to CTAs.
+	ctasByRegs := warps / warpsPerCTA
+	base := Compute(c, k, 0) // caps other than registers
+	ctas := base.CTAsPerSM
+	limiter := base.Limiter
+	if ctasByRegs < ctas {
+		ctas = ctasByRegs
+		limiter = "registers"
+	}
+	res.CTAsPerSM = ctas
+	res.Limiter = limiter
+	res.WarpsPerSM = ctas * warpsPerCTA
+	res.Occupancy = float64(res.WarpsPerSM) / float64(c.MaxWarpsPerSM)
+	res.RegsPerCTA = warpsPerCTA * perPair / 2
+	return res
+}
+
+// Unconstrained computes occupancy ignoring the register file entirely,
+// as the RFV baseline does (physical registers are allocated on demand,
+// so they stop being a residency constraint).
+func Unconstrained(c Config, k *isa.Kernel) Result {
+	return Compute(c, k, 0)
+}

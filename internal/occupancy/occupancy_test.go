@@ -1,0 +1,182 @@
+package occupancy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regmutex/internal/isa"
+)
+
+func testKernel(threads, regs, smem int) *isa.Kernel {
+	return &isa.Kernel{
+		Name:           "occ-test",
+		Instrs:         []isa.Instr{isa.NewInstr(isa.OpExit)},
+		NumRegs:        regs,
+		ThreadsPerCTA:  threads,
+		SharedMemWords: smem,
+		GridCTAs:       1,
+	}
+}
+
+func TestGTX480Shape(t *testing.T) {
+	c := GTX480()
+	if c.WarpRegisters() != 1024 {
+		t.Errorf("WarpRegisters = %d, want 1024 (32K regs / 32 lanes)", c.WarpRegisters())
+	}
+	h := GTX480Half()
+	if h.WarpRegisters() != 512 {
+		t.Errorf("half-RF WarpRegisters = %d, want 512", h.WarpRegisters())
+	}
+	if c.NumSMs != 15 || c.MaxWarpsPerSM != 48 || c.SchedulersPerSM != 2 {
+		t.Error("GTX480 config mismatch with the paper's setup")
+	}
+}
+
+// The worked example of section III-A2: a 24-register kernel. With
+// |Bs| = 18 the SM reaches full occupancy (48 warps) and the SRP holds 26
+// sections of |Es| = 6; with |Bs| = 20 it holds 16 sections of 4; with
+// |Bs| = 16, 32 sections of 8.
+func TestPaperWorkedExample(t *testing.T) {
+	c := GTX480()
+	k := testKernel(512, 24, 0)
+
+	base := Baseline(c, k)
+	if base.WarpsPerSM >= 48 {
+		t.Fatalf("baseline occupancy %d warps; example expects register-limited", base.WarpsPerSM)
+	}
+
+	cases := []struct {
+		bs, es       int
+		wantWarps    int
+		wantSections int
+	}{
+		{20, 4, 48, 16},
+		{18, 6, 48, 26},
+		{16, 8, 48, 32},
+	}
+	for _, tc := range cases {
+		r := WithBaseSet(c, k, tc.bs)
+		if r.WarpsPerSM != tc.wantWarps {
+			t.Errorf("Bs=%d: warps = %d, want %d", tc.bs, r.WarpsPerSM, tc.wantWarps)
+		}
+		sections, _ := SRPSections(c, r.WarpsPerSM, tc.bs, tc.es)
+		if sections != tc.wantSections {
+			t.Errorf("Bs=%d Es=%d: sections = %d, want %d", tc.bs, tc.es, sections, tc.wantSections)
+		}
+	}
+}
+
+func TestLimiters(t *testing.T) {
+	c := GTX480()
+	// Huge register demand: registers limit.
+	r := Baseline(c, testKernel(256, 44, 0))
+	if r.Limiter != "registers" {
+		t.Errorf("limiter = %s, want registers", r.Limiter)
+	}
+	// Tiny demand: CTA cap limits.
+	r = Baseline(c, testKernel(64, 8, 0))
+	if r.Limiter != "ctas" || r.CTAsPerSM != 8 {
+		t.Errorf("limiter = %s ctas=%d, want ctas/8", r.Limiter, r.CTAsPerSM)
+	}
+	// Shared memory limit.
+	r = Baseline(c, testKernel(64, 8, 3000))
+	if r.Limiter != "shared" || r.CTAsPerSM != 2 {
+		t.Errorf("limiter = %s ctas=%d, want shared/2", r.Limiter, r.CTAsPerSM)
+	}
+	// Thread limit.
+	r = Baseline(c, testKernel(512, 8, 0))
+	if r.Limiter != "threads" || r.CTAsPerSM != 3 {
+		t.Errorf("limiter = %s ctas=%d, want threads/3", r.Limiter, r.CTAsPerSM)
+	}
+}
+
+func TestUnconstrainedIgnoresRegisters(t *testing.T) {
+	c := GTX480()
+	k := testKernel(256, 44, 0)
+	if got, want := Unconstrained(c, k).WarpsPerSM, 48; got != want {
+		t.Errorf("unconstrained warps = %d, want %d", got, want)
+	}
+}
+
+func TestPairedPairs(t *testing.T) {
+	c := GTX480()
+	k := testKernel(256, 31, 0)
+	// Paper Figure 2 arithmetic, scaled: each pair owns 2*16+16 = 48 rows.
+	r := PairedPairs(c, k, 16, 16)
+	// 1024/48 = 21 pairs = 42 warps -> 5 CTAs (8 warps each).
+	if r.CTAsPerSM != 5 {
+		t.Errorf("paired CTAs = %d, want 5", r.CTAsPerSM)
+	}
+	base := Baseline(c, k) // 32 regs rounded: 8*32=256 rows/CTA -> 4 CTAs
+	if base.CTAsPerSM != 4 {
+		t.Errorf("baseline CTAs = %d, want 4", base.CTAsPerSM)
+	}
+	if r.WarpsPerSM <= base.WarpsPerSM {
+		t.Error("paired specialisation should beat baseline here")
+	}
+}
+
+func TestSRPSectionsEdgeCases(t *testing.T) {
+	c := GTX480()
+	if s, _ := SRPSections(c, 48, 21, 0); s != 0 {
+		t.Error("Es=0 should have zero sections")
+	}
+	// Overfull: no free rows.
+	if s, _ := SRPSections(c, 48, 22, 4); s != 0 {
+		t.Errorf("overfull SRP should have 0 sections")
+	}
+	// Cap at Nw.
+	if s, _ := SRPSections(c, 8, 4, 2); s != 48 {
+		t.Errorf("sections should cap at Nw=48, got %d", s)
+	}
+}
+
+// Property: occupancy is monotonically non-increasing in register demand,
+// and never exceeds hardware caps.
+func TestOccupancyMonotoneProperty(t *testing.T) {
+	c := GTX480()
+	f := func(threadsRaw, regsRaw uint8) bool {
+		threads := (1 + int(threadsRaw)%16) * 32
+		regs := 1 + int(regsRaw)%63
+		k := testKernel(threads, regs, 0)
+		prev := -1
+		for r := 63; r >= 1; r-- {
+			res := Compute(c, k, r)
+			if res.WarpsPerSM > c.MaxWarpsPerSM || res.CTAsPerSM > c.MaxCTAsPerSM {
+				return false
+			}
+			if res.WarpsPerSM*32 > c.MaxThreadsPerSM+threads { // warps cap consistency
+				return false
+			}
+			if prev >= 0 && res.WarpsPerSM < prev {
+				return false // lowering demand reduced occupancy?
+			}
+			prev = res.WarpsPerSM
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestK20Shape(t *testing.T) {
+	c := K20()
+	// The paper's generality argument: registers per warp slot stays 32.
+	if got := c.WarpRegisters() / c.MaxWarpsPerSM; got != 32 {
+		t.Errorf("K20 registers per warp slot = %d, want 32", got)
+	}
+	// A >32-register kernel is occupancy-limited on the K20 too.
+	k := testKernel(256, 36, 0)
+	base := Baseline(c, k)
+	free := Unconstrained(c, k)
+	if base.WarpsPerSM >= free.WarpsPerSM {
+		t.Errorf("36-register kernel should be register-limited on K20: %d vs %d",
+			base.WarpsPerSM, free.WarpsPerSM)
+	}
+	// A 32-register kernel fits fully.
+	k32 := testKernel(256, 32, 0)
+	if Baseline(c, k32).WarpsPerSM < Unconstrained(c, k32).WarpsPerSM {
+		t.Error("32-register kernel should fit the K20 fully")
+	}
+}

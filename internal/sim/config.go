@@ -1,0 +1,76 @@
+// Package sim is the GPU simulator the evaluation runs on: a functional
+// plus cycle-level model of a Fermi-class device in the spirit of
+// GPGPU-Sim (the paper's section IV setup). Each SM has two
+// greedy-then-oldest warp schedulers, a per-warp scoreboard, a SIMT
+// reconvergence stack, a latency-hiding memory pipeline with a bounded
+// number of in-flight requests, CTA-wide barriers, and a pluggable
+// register allocation policy (static baseline, RegMutex, paired-warps
+// RegMutex, OWF resource sharing, and register file virtualization).
+//
+// Instructions execute functionally at issue with real per-lane values,
+// so loops and data-dependent branches behave like the applications the
+// paper measures; the scoreboard and memory pipeline impose the timing.
+package sim
+
+import "regmutex/internal/isa"
+
+// Timing holds the simulator's latency and structural parameters.
+// Values approximate the GTX480 model that ships with GPGPU-Sim; the
+// experiments depend on their ratios (global memory latency vs. ALU
+// latency is what occupancy hides), not on absolute fidelity.
+type Timing struct {
+	ALULatency    int64 // simple integer ops
+	FPLatency     int64 // FP add/mul/fma pipeline
+	SFULatency    int64 // transcendentals
+	SharedLatency int64 // shared-memory access
+	GlobalLatency int64 // global-memory access (uncontended)
+
+	// MaxInFlightMem bounds outstanding global requests per SM (an
+	// MSHR/bandwidth proxy). When full, memory instructions stall at
+	// issue; hiding this queueing is why occupancy matters.
+	MaxInFlightMem int
+
+	// SFUPortsPerSM bounds SFU issues per SM per cycle.
+	SFUPortsPerSM int
+
+	// MaxCycles aborts runs that stop making progress.
+	MaxCycles int64
+
+	// LooseRoundRobin switches the warp schedulers from the default
+	// greedy-then-oldest policy to a loose round-robin (ablation:
+	// BenchmarkAblationScheduler).
+	LooseRoundRobin bool
+}
+
+// DefaultTiming returns the timing model used throughout the evaluation.
+func DefaultTiming() Timing {
+	return Timing{
+		ALULatency:     4,
+		FPLatency:      4,
+		SFULatency:     16,
+		SharedLatency:  24,
+		GlobalLatency:  400,
+		MaxInFlightMem: 48,
+		SFUPortsPerSM:  1,
+		MaxCycles:      200_000_000,
+	}
+}
+
+// latency returns the issue-to-writeback latency for op.
+func (t Timing) latency(op isa.Opcode) int64 {
+	switch isa.ClassOf(op) {
+	case isa.ClassFP:
+		return t.FPLatency
+	case isa.ClassSFU:
+		return t.SFULatency
+	case isa.ClassMem:
+		switch op {
+		case isa.OpLdShared, isa.OpStShared:
+			return t.SharedLatency
+		default:
+			return t.GlobalLatency
+		}
+	default:
+		return t.ALULatency
+	}
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+
+	"regmutex/internal/isa"
+	"regmutex/internal/occupancy"
+)
+
+// Device is the whole GPU: SMs, global memory, and the CTA dispatcher.
+type Device struct {
+	Config occupancy.Config
+	Timing Timing
+	Kernel *isa.Kernel
+	Policy Policy
+
+	Global []uint64
+	sms    []*SM
+
+	nextCTA  int
+	doneCTAs int
+	warpSeq  int64
+	now      int64
+
+	// Multi-kernel co-scheduling state (NewMultiDevice); nil kernels
+	// means the normal single-kernel mode.
+	kernels   []*isa.Kernel
+	globals   [][]uint64
+	multiNext []int
+	multiRR   int
+	totalCTAs int
+
+	oobAccesses int64
+
+	// Listener, when non-nil, receives allocation events (used by the
+	// Figure 2 timeline example). Keep it nil for performance runs.
+	Listener func(ev Event)
+
+	// Sampler, when non-nil, receives a utilisation snapshot roughly
+	// every SampleInterval cycles (gpusim -trace uses it to draw the
+	// occupancy/SRP timeline). Keep it nil for performance runs.
+	Sampler        func(Sample)
+	SampleInterval int64
+	nextSample     int64
+}
+
+// Sample is a point-in-time utilisation snapshot across the device.
+type Sample struct {
+	Cycle         int64
+	ResidentWarps int // warps currently resident on all SMs
+	HeldSections  int // SRP sections currently acquired (RegMutex only)
+}
+
+// Event is a coarse notification for visualisation hooks.
+type Event struct {
+	Cycle int64
+	SM    int
+	Kind  string // "cta-launch", "cta-retire", "acquire", "release"
+	Warp  int    // Widx where applicable
+	Data  int
+}
+
+// NewDevice builds a device for the kernel under the given policy.
+// The caller provides global memory contents (the workload input).
+func NewDevice(cfg occupancy.Config, timing Timing, k *isa.Kernel, pol Policy, global []uint64) (*Device, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil {
+		pol = NewStaticPolicy(cfg)
+	}
+	d := &Device{
+		Config: cfg,
+		Timing: timing,
+		Kernel: k,
+		Policy: pol,
+		Global: global,
+	}
+	if d.Global == nil {
+		words := k.GlobalMemWords
+		if words <= 0 {
+			words = 1 << 12
+		}
+		d.Global = make([]uint64, words)
+	}
+	ctasPerSM := pol.CTAsPerSM(k)
+	if ctasPerSM <= 0 {
+		return nil, fmt.Errorf("sim: kernel %s does not fit on %s under policy %s",
+			k.Name, cfg.Name, pol.Name())
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		sm := newSM(d, i)
+		sm.policy = pol.NewSMState(sm)
+		d.sms = append(d.sms, sm)
+	}
+	// Initial wave: fill every SM up to its residency, round-robin so
+	// CTAs spread evenly across SMs.
+	for more := true; more; {
+		more = false
+		for _, sm := range d.sms {
+			if d.nextCTA >= k.GridCTAs {
+				break
+			}
+			if len(sm.ctas) < ctasPerSM && sm.freeSlots() >= k.WarpsPerCTA() {
+				sm.launchCTA(d.nextCTA)
+				d.emit(Event{Cycle: 0, SM: sm.id, Kind: "cta-launch", Data: d.nextCTA})
+				d.nextCTA++
+				more = true
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *Device) emit(ev Event) {
+	if d.Listener != nil {
+		d.Listener(ev)
+	}
+}
+
+// onCTAComplete is called by an SM when one of its CTAs retires; the
+// dispatcher backfills from the pending grid.
+func (d *Device) onCTAComplete(sm *SM) {
+	d.doneCTAs++
+	d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-retire"})
+	if d.multi() {
+		for d.multiBackfill(sm) {
+		}
+		return
+	}
+	k := d.Kernel
+	ctasPerSM := d.Policy.CTAsPerSM(k)
+	for d.nextCTA < k.GridCTAs && len(sm.ctas) < ctasPerSM && sm.freeSlots() >= k.WarpsPerCTA() {
+		sm.launchCTA(d.nextCTA)
+		d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-launch", Data: d.nextCTA})
+		d.nextCTA++
+	}
+}
+
+func (d *Device) loadGlobal(mem []uint64, addr int64) uint64 {
+	n := int64(len(mem))
+	if addr < 0 || addr >= n {
+		d.oobAccesses++
+		addr = ((addr % n) + n) % n
+	}
+	return mem[addr]
+}
+
+func (d *Device) storeGlobal(mem []uint64, addr int64, v uint64) {
+	n := int64(len(mem))
+	if addr < 0 || addr >= n {
+		d.oobAccesses++
+		addr = ((addr % n) + n) % n
+	}
+	mem[addr] = v
+}
+
+// GlobalOf returns kernel i's global memory (i = the kernel's position in
+// the NewMultiDevice slice; 0 for single-kernel devices).
+func (d *Device) GlobalOf(i int) []uint64 {
+	if d.multi() {
+		return d.globals[i]
+	}
+	return d.Global
+}
+
+// Stats summarises a finished run.
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+	CTAs         int
+
+	// AvgOccupancyWarps is resident warps averaged over SM active
+	// cycles (achieved, not theoretical).
+	AvgOccupancyWarps float64
+
+	// RegMutex counters aggregated over SMs (zero for other policies).
+	AcquireAttempts  uint64
+	AcquireSuccesses uint64
+	Releases         uint64
+
+	// Stall counters aggregated over warps.
+	ScoreboardStalls int64
+	MemStalls        int64
+	AcquireStalls    int64
+
+	// Register file traffic in warp-row accesses, the inputs to the
+	// energy model (internal/energy).
+	RFReads  int64
+	RFWrites int64
+
+	OOBAccesses int64
+}
+
+// AcquireSuccessRate returns the fraction of acquire attempts that
+// succeeded (Figure 11b / Figure 13), or 1 when no acquires ran.
+func (s Stats) AcquireSuccessRate() float64 {
+	if s.AcquireAttempts == 0 {
+		return 1
+	}
+	return float64(s.AcquireSuccesses) / float64(s.AcquireAttempts)
+}
+
+// Run simulates until every CTA has retired and returns the statistics.
+func (d *Device) Run() (Stats, error) {
+	target := d.Kernel.GridCTAs
+	if d.multi() {
+		target = d.totalCTAs
+	}
+	idle := int64(0)
+	for d.doneCTAs < target {
+		if d.now > d.Timing.MaxCycles {
+			return Stats{}, fmt.Errorf("sim: kernel %s exceeded %d cycles (possible livelock)", d.Kernel.Name, d.Timing.MaxCycles)
+		}
+		if d.Sampler != nil && d.now >= d.nextSample {
+			d.Sampler(d.sample())
+			if d.SampleInterval <= 0 {
+				d.SampleInterval = 256
+			}
+			d.nextSample = d.now + d.SampleInterval
+		}
+		issued := 0
+		for _, sm := range d.sms {
+			issued += sm.step(d.now)
+		}
+		if issued == 0 {
+			// Nothing issued anywhere: fast-forward to the next event.
+			next := int64(-1)
+			for _, sm := range d.sms {
+				if t := sm.nextEvent(d.now); t >= 0 && (next < 0 || t < next) {
+					next = t
+				}
+			}
+			if next < 0 {
+				idle++
+				if idle > 4 {
+					return Stats{}, d.deadlockError()
+				}
+				d.now++
+				continue
+			}
+			idle = 0
+			d.now = next
+			continue
+		}
+		idle = 0
+		d.now++
+	}
+	return d.collectStats(), nil
+}
+
+// deadlockError builds a diagnostic for a wedged machine.
+func (d *Device) deadlockError() error {
+	waiting, barrier, total := 0, 0, 0
+	detail := ""
+	for _, sm := range d.sms {
+		for _, w := range sm.warps {
+			if w.Finished() {
+				continue
+			}
+			total++
+			if w.atBarrier {
+				barrier++
+			} else {
+				waiting++
+				if detail == "" {
+					pc := w.NextPC()
+					instr := "-"
+					if pc >= 0 && pc < len(d.Kernel.Instrs) {
+						instr = d.Kernel.Instrs[pc].String()
+					}
+					detail = fmt.Sprintf("; first stalled: SM%d warp %d at pc %d (%s), stack %d",
+						sm.id, w.Widx, pc, instr, w.StackDepth())
+				}
+			}
+		}
+	}
+	return fmt.Errorf("sim: deadlock in kernel %s under %s: %d live warps (%d at barriers, %d stalled), %d/%d CTAs done%s",
+		d.Kernel.Name, d.Policy.Name(), total, barrier, waiting, d.doneCTAs, d.Kernel.GridCTAs, detail)
+}
+
+func (d *Device) collectStats() Stats {
+	st := Stats{Cycles: d.now, CTAs: d.doneCTAs, OOBAccesses: d.oobAccesses}
+	var activeSum, occSum int64
+	for _, sm := range d.sms {
+		st.Instructions += sm.issued
+		st.RFReads += sm.rfReads
+		st.RFWrites += sm.rfWrites
+		activeSum += sm.cyclesActive
+		occSum += sm.occupancySum
+		a, s, r := sm.policy.Counters()
+		st.AcquireAttempts += a
+		st.AcquireSuccesses += s
+		st.Releases += r
+	}
+	if activeSum > 0 {
+		st.AvgOccupancyWarps = float64(occSum) / float64(activeSum)
+	}
+	for _, sm := range d.sms {
+		st.ScoreboardStalls += sm.retScoreStalls
+		st.MemStalls += sm.retMemStalls
+		st.AcquireStalls += sm.retAcqStalls
+		for _, w := range sm.warps {
+			st.ScoreboardStalls += w.ScoreStalls
+			st.MemStalls += w.MemStalls
+			st.AcquireStalls += w.AcqStalls
+		}
+	}
+	return st
+}
+
+// sample captures the current utilisation snapshot.
+func (d *Device) sample() Sample {
+	s := Sample{Cycle: d.now}
+	for _, sm := range d.sms {
+		for _, w := range sm.warps {
+			if !w.Finished() {
+				s.ResidentWarps++
+			}
+		}
+		if h, ok := sm.policy.(interface{ HeldSections() int }); ok {
+			s.HeldSections += h.HeldSections()
+		}
+	}
+	return s
+}
+
+// Occupancy returns the policy's CTAs-per-SM for the kernel (theoretical).
+func (d *Device) Occupancy() int { return d.Policy.CTAsPerSM(d.Kernel) }

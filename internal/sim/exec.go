@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+
+	"regmutex/internal/isa"
+)
+
+// execute functionally performs instruction in for warp w over lanes in
+// exec (guard already applied). Branch-taken lanes are returned for
+// control-flow handling. Memory traffic goes through the SM's device.
+func (sm *SM) execute(w *Warp, in *isa.Instr, pc int, exec laneMask) (taken laneMask) {
+	k := w.CTA.kern
+	read := func(o isa.Operand, lane int) uint64 {
+		if o.Kind == isa.OpndImm {
+			return uint64(o.Imm)
+		}
+		return w.regs[o.Reg][lane]
+	}
+	readF := func(o isa.Operand, lane int) float64 {
+		return isa.B2F(read(o, lane))
+	}
+	write := func(lane int, v uint64) {
+		w.regs[in.Dst][lane] = v
+	}
+	writeF := func(lane int, v float64) {
+		w.regs[in.Dst][lane] = isa.F2B(v)
+	}
+
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpMov:
+			write(lane, read(in.Srcs[0], lane))
+		case isa.OpMovSpecial:
+			write(lane, w.special(in.Spec, lane, k))
+		case isa.OpIAdd:
+			write(lane, uint64(int64(read(in.Srcs[0], lane))+int64(read(in.Srcs[1], lane))))
+		case isa.OpISub:
+			write(lane, uint64(int64(read(in.Srcs[0], lane))-int64(read(in.Srcs[1], lane))))
+		case isa.OpIMul:
+			write(lane, uint64(int64(read(in.Srcs[0], lane))*int64(read(in.Srcs[1], lane))))
+		case isa.OpIMad:
+			write(lane, uint64(int64(read(in.Srcs[0], lane))*int64(read(in.Srcs[1], lane))+int64(read(in.Srcs[2], lane))))
+		case isa.OpIMin:
+			a, b := int64(read(in.Srcs[0], lane)), int64(read(in.Srcs[1], lane))
+			write(lane, uint64(min(a, b)))
+		case isa.OpIMax:
+			a, b := int64(read(in.Srcs[0], lane)), int64(read(in.Srcs[1], lane))
+			write(lane, uint64(max(a, b)))
+		case isa.OpIAbs:
+			a := int64(read(in.Srcs[0], lane))
+			if a < 0 {
+				a = -a
+			}
+			write(lane, uint64(a))
+		case isa.OpShl:
+			write(lane, read(in.Srcs[0], lane)<<(read(in.Srcs[1], lane)&63))
+		case isa.OpShr:
+			write(lane, uint64(int64(read(in.Srcs[0], lane))>>(read(in.Srcs[1], lane)&63)))
+		case isa.OpAnd:
+			write(lane, read(in.Srcs[0], lane)&read(in.Srcs[1], lane))
+		case isa.OpOr:
+			write(lane, read(in.Srcs[0], lane)|read(in.Srcs[1], lane))
+		case isa.OpXor:
+			write(lane, read(in.Srcs[0], lane)^read(in.Srcs[1], lane))
+		case isa.OpFAdd:
+			writeF(lane, readF(in.Srcs[0], lane)+readF(in.Srcs[1], lane))
+		case isa.OpFSub:
+			writeF(lane, readF(in.Srcs[0], lane)-readF(in.Srcs[1], lane))
+		case isa.OpFMul:
+			writeF(lane, readF(in.Srcs[0], lane)*readF(in.Srcs[1], lane))
+		case isa.OpFFma:
+			writeF(lane, readF(in.Srcs[0], lane)*readF(in.Srcs[1], lane)+readF(in.Srcs[2], lane))
+		case isa.OpFMin:
+			writeF(lane, math.Min(readF(in.Srcs[0], lane), readF(in.Srcs[1], lane)))
+		case isa.OpFMax:
+			writeF(lane, math.Max(readF(in.Srcs[0], lane), readF(in.Srcs[1], lane)))
+		case isa.OpFAbs:
+			writeF(lane, math.Abs(readF(in.Srcs[0], lane)))
+		case isa.OpI2F:
+			writeF(lane, float64(int64(read(in.Srcs[0], lane))))
+		case isa.OpF2I:
+			write(lane, uint64(int64(readF(in.Srcs[0], lane))))
+		case isa.OpFSqrt:
+			writeF(lane, math.Sqrt(math.Abs(readF(in.Srcs[0], lane))))
+		case isa.OpFRcp:
+			d := readF(in.Srcs[0], lane)
+			if d == 0 {
+				d = 1e-30
+			}
+			writeF(lane, 1/d)
+		case isa.OpFSin:
+			writeF(lane, math.Sin(readF(in.Srcs[0], lane)))
+		case isa.OpFCos:
+			writeF(lane, math.Cos(readF(in.Srcs[0], lane)))
+		case isa.OpFExp:
+			writeF(lane, math.Exp(clampExp(readF(in.Srcs[0], lane))))
+		case isa.OpFLog:
+			writeF(lane, math.Log(math.Abs(readF(in.Srcs[0], lane))+1e-30))
+		case isa.OpSetp:
+			a, b := int64(read(in.Srcs[0], lane)), int64(read(in.Srcs[1], lane))
+			w.preds[in.PDst][lane] = compare(in.Cmp, a, b)
+		case isa.OpSetpF:
+			w.preds[in.PDst][lane] = compareF(in.Cmp, readF(in.Srcs[0], lane), readF(in.Srcs[1], lane))
+		case isa.OpSelp:
+			// Guard is the selector; exec already filtered to
+			// guard-true lanes, so Selp needs its own handling: it
+			// executes for all *active* lanes, choosing by predicate.
+			// The issue path special-cases this; here exec is the
+			// full active mask and we re-read the predicate.
+			sel := w.preds[in.Guard.Pred][lane] != in.Guard.Neg
+			if sel {
+				write(lane, read(in.Srcs[0], lane))
+			} else {
+				write(lane, read(in.Srcs[1], lane))
+			}
+		case isa.OpBra:
+			taken |= 1 << uint(lane)
+		case isa.OpExit:
+			// handled by caller via exitLanes
+		case isa.OpLdGlobal:
+			addr := int64(read(in.Srcs[0], lane)) + in.Off
+			write(lane, sm.dev.loadGlobal(w.CTA.global, addr))
+		case isa.OpStGlobal:
+			addr := int64(read(in.Srcs[0], lane)) + in.Off
+			sm.dev.storeGlobal(w.CTA.global, addr, read(in.Srcs[1], lane))
+		case isa.OpLdShared:
+			addr := int64(read(in.Srcs[0], lane)) + in.Off
+			write(lane, w.CTA.loadShared(addr))
+		case isa.OpStShared:
+			addr := int64(read(in.Srcs[0], lane)) + in.Off
+			w.CTA.storeShared(addr, read(in.Srcs[1], lane))
+		case isa.OpBarSync, isa.OpAcq, isa.OpRel:
+			// handled at issue by the SM / policy
+		}
+	}
+	_ = pc
+	return taken
+}
+
+// special returns the value of a special register for a lane.
+func (w *Warp) special(s isa.SpecialReg, lane int, k *isa.Kernel) uint64 {
+	switch s {
+	case isa.SpecTID:
+		return uint64(w.CTA.warpBase(w)*isa.WarpSize + lane)
+	case isa.SpecNTID:
+		return uint64(k.ThreadsPerCTA)
+	case isa.SpecCTAID:
+		return uint64(w.CTA.ID)
+	case isa.SpecNCTAID:
+		return uint64(k.GridCTAs)
+	case isa.SpecLaneID:
+		return uint64(lane)
+	case isa.SpecWarpID:
+		return uint64(w.CTA.warpBase(w))
+	default:
+		return 0
+	}
+}
+
+func compare(c isa.CmpOp, a, b int64) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func compareF(c isa.CmpOp, a, b float64) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func clampExp(x float64) float64 {
+	if x > 64 {
+		return 64
+	}
+	if x < -64 {
+		return -64
+	}
+	return x
+}

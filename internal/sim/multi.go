@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+
+	"regmutex/internal/isa"
+	"regmutex/internal/occupancy"
+)
+
+// NewMultiDevice builds a device that co-schedules CTAs of several
+// *dissimilar* kernels on the same SMs (in the spirit of KernelMerge,
+// which the paper cites as orthogonal work). Section IV states the
+// RegMutex limitation this mode exists to demonstrate: "Co-scheduling
+// dissimilar kernels on an SM is not supported by our technique and
+// results in falling back to the default execution mode (zero-sized
+// extended set)" — so the mode refuses kernels carrying an extended set
+// and always uses static, exclusive allocation with direct resource
+// accounting.
+//
+// Each kernel gets its own global memory (globals[i]; nil entries are
+// allocated zero-filled).
+func NewMultiDevice(cfg occupancy.Config, timing Timing, kernels []*isa.Kernel, globals [][]uint64) (*Device, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("sim: no kernels to co-schedule")
+	}
+	if globals == nil {
+		globals = make([][]uint64, len(kernels))
+	}
+	if len(globals) != len(kernels) {
+		return nil, fmt.Errorf("sim: %d kernels but %d memories", len(kernels), len(globals))
+	}
+	totalCTAs := 0
+	for i, k := range kernels {
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		if k.HasExtendedSet() {
+			return nil, fmt.Errorf("sim: kernel %s carries an extended set; co-scheduling dissimilar kernels requires the default execution mode (strip the RegMutex transform first)", k.Name)
+		}
+		if globals[i] == nil {
+			words := k.GlobalMemWords
+			if words <= 0 {
+				words = 1 << 12
+			}
+			globals[i] = make([]uint64, words)
+		}
+		totalCTAs += k.GridCTAs
+		// Every kernel must fit an empty SM on its own.
+		if occupancy.Baseline(cfg, k).CTAsPerSM < 1 {
+			return nil, fmt.Errorf("sim: kernel %s does not fit on %s", k.Name, cfg.Name)
+		}
+	}
+	d := &Device{
+		Config:    cfg,
+		Timing:    timing,
+		Kernel:    kernels[0],
+		Policy:    NewStaticPolicy(cfg),
+		Global:    globals[0],
+		kernels:   kernels,
+		globals:   globals,
+		multiNext: make([]int, len(kernels)),
+		totalCTAs: totalCTAs,
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		sm := newSM(d, i)
+		sm.policy = nopState{}
+		d.sms = append(d.sms, sm)
+	}
+	// Initial wave: round-robin over kernels and SMs.
+	for progress := true; progress; {
+		progress = false
+		for _, sm := range d.sms {
+			if d.multiBackfill(sm) {
+				progress = true
+			}
+		}
+	}
+	return d, nil
+}
+
+// multi reports whether the device runs in co-scheduling mode.
+func (d *Device) multi() bool { return d.kernels != nil }
+
+// multiBackfill launches at most one pending CTA (rotating over kernels)
+// onto sm; reports whether anything launched.
+func (d *Device) multiBackfill(sm *SM) bool {
+	for n := 0; n < len(d.kernels); n++ {
+		ki := d.multiRR % len(d.kernels)
+		d.multiRR++
+		k := d.kernels[ki]
+		if d.multiNext[ki] >= k.GridCTAs {
+			continue
+		}
+		if !sm.canHost(k) {
+			continue
+		}
+		sm.launchCTAOf(k, ki, d.multiNext[ki])
+		d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-launch", Data: d.multiNext[ki]})
+		d.multiNext[ki]++
+		return true
+	}
+	return false
+}
+
+// canHost checks whether sm has room for one more CTA of k under static,
+// exclusive allocation: warp slots, register rows, threads, shared
+// memory, and the CTA cap — the multi-kernel generalisation of the
+// occupancy calculator.
+func (sm *SM) canHost(k *isa.Kernel) bool {
+	cfg := sm.dev.Config
+	if len(sm.ctas) >= cfg.MaxCTAsPerSM {
+		return false
+	}
+	if sm.freeSlots() < k.WarpsPerCTA() {
+		return false
+	}
+	threads, rows, shared := 0, 0, 0
+	for _, c := range sm.ctas {
+		threads += c.kern.ThreadsPerCTA
+		rows += c.kern.WarpsPerCTA() * c.kern.AllocRegs()
+		shared += c.kern.SharedMemWords
+	}
+	if threads+k.ThreadsPerCTA > cfg.MaxThreadsPerSM {
+		return false
+	}
+	if rows+k.WarpsPerCTA()*k.AllocRegs() > cfg.WarpRegisters() {
+		return false
+	}
+	if shared+k.SharedMemWords > cfg.SharedWordsPerSM {
+		return false
+	}
+	return true
+}

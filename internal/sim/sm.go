@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"container/heap"
+
+	"regmutex/internal/isa"
+)
+
+// CTAState is one resident CTA on an SM.
+type CTAState struct {
+	ID     int
+	kern   *isa.Kernel
+	global []uint64 // the kernel's global memory
+	warps  []*Warp
+	shared []uint64
+
+	barWaiting int // warps currently parked at the barrier
+	doneWarps  int
+}
+
+func (c *CTAState) warpBase(w *Warp) int {
+	for i, x := range c.warps {
+		if x == w {
+			return i
+		}
+	}
+	return 0
+}
+
+func (c *CTAState) loadShared(addr int64) uint64 {
+	if len(c.shared) == 0 {
+		return 0
+	}
+	i := int(addr) % len(c.shared)
+	if i < 0 {
+		i += len(c.shared)
+	}
+	return c.shared[i]
+}
+
+func (c *CTAState) storeShared(addr int64, v uint64) {
+	if len(c.shared) == 0 {
+		return
+	}
+	i := int(addr) % len(c.shared)
+	if i < 0 {
+		i += len(c.shared)
+	}
+	c.shared[i] = v
+}
+
+// liveWarps returns warps that have not finished.
+func (c *CTAState) liveWarps() int { return len(c.warps) - c.doneWarps }
+
+// eventHeap is a min-heap of future completion times, used both for
+// idle-cycle skipping and in-flight memory accounting.
+type eventHeap []int64
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// scheduler is one of the SM's warp schedulers (greedy-then-oldest).
+type scheduler struct {
+	id   int
+	last *Warp // greedy: keep issuing from the same warp
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	dev *Device
+	id  int
+
+	ctas       []*CTAState
+	warps      []*Warp // all resident warps (nil entries after completion)
+	slots      []bool  // warp slot occupancy, index = Widx
+	schedulers []scheduler
+
+	policy PolicyState
+
+	memInFlight  int
+	memComplete  eventHeap // completion times of outstanding global requests
+	wakeups      eventHeap // scoreboard writeback times (idle skipping)
+	sfuThisCycle int
+
+	// Stats.
+	issued        int64
+	cyclesActive  int64
+	warpsLaunched int64
+	occupancySum  int64 // resident warps integrated over active cycles
+	rfReads       int64 // register file row reads (warp-wide)
+	rfWrites      int64 // register file row writes
+
+	// Stall counters accumulated from retired warps.
+	retScoreStalls int64
+	retMemStalls   int64
+	retAcqStalls   int64
+}
+
+func newSM(dev *Device, id int) *SM {
+	sm := &SM{dev: dev, id: id}
+	sm.slots = make([]bool, dev.Config.MaxWarpsPerSM)
+	for s := 0; s < dev.Config.SchedulersPerSM; s++ {
+		sm.schedulers = append(sm.schedulers, scheduler{id: s})
+	}
+	return sm
+}
+
+// freeSlots returns how many warp slots are unoccupied.
+func (sm *SM) freeSlots() int {
+	n := 0
+	for _, used := range sm.slots {
+		if !used {
+			n++
+		}
+	}
+	return n
+}
+
+// launchCTA places a CTA of the device's (single) kernel onto the SM.
+func (sm *SM) launchCTA(id int) {
+	sm.launchCTAOf(sm.dev.Kernel, 0, id)
+}
+
+// launchCTAOf places a CTA of an arbitrary kernel onto the SM (the
+// multi-kernel path; kidx selects its global memory).
+func (sm *SM) launchCTAOf(k *isa.Kernel, kidx, id int) {
+	cta := &CTAState{ID: id, kern: k, global: sm.dev.GlobalOf(kidx)}
+	if k.SharedMemWords > 0 {
+		cta.shared = make([]uint64, k.SharedMemWords)
+	}
+	threads := k.ThreadsPerCTA
+	for wi := 0; wi < k.WarpsPerCTA(); wi++ {
+		lanes := threads - wi*isa.WarpSize
+		if lanes > isa.WarpSize {
+			lanes = isa.WarpSize
+		}
+		widx := sm.takeSlot()
+		w := newWarp(k, int(sm.dev.warpSeq), widx, cta, lanes)
+		sm.dev.warpSeq++
+		cta.warps = append(cta.warps, w)
+		sm.warps = append(sm.warps, w)
+		sm.warpsLaunched++
+	}
+	sm.ctas = append(sm.ctas, cta)
+	sm.policy.OnCTALaunch(cta)
+}
+
+func (sm *SM) takeSlot() int {
+	for i, used := range sm.slots {
+		if !used {
+			sm.slots[i] = true
+			return i
+		}
+	}
+	// Residency accounting should prevent this.
+	panic("sim: no free warp slot")
+}
+
+// retireCTA frees a finished CTA's resources.
+func (sm *SM) retireCTA(cta *CTAState) {
+	for _, w := range cta.warps {
+		sm.slots[w.Widx] = false
+		sm.retScoreStalls += w.ScoreStalls
+		sm.retMemStalls += w.MemStalls
+		sm.retAcqStalls += w.AcqStalls
+	}
+	for i, c := range sm.ctas {
+		if c == cta {
+			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
+			break
+		}
+	}
+	live := sm.warps[:0]
+	for _, w := range sm.warps {
+		if w.CTA != cta {
+			live = append(live, w)
+		}
+	}
+	sm.warps = live
+	sm.policy.OnCTARetire(cta)
+}
+
+// residentWarps returns the number of warps currently on the SM.
+func (sm *SM) residentWarps() int { return len(sm.warps) }
+
+// drainMemCompletions retires finished global requests.
+func (sm *SM) drainMemCompletions(now int64) {
+	for len(sm.memComplete) > 0 && sm.memComplete[0] <= now {
+		heap.Pop(&sm.memComplete)
+		sm.memInFlight--
+	}
+}
+
+// nextEvent returns the earliest future time anything changes on this SM,
+// or -1 if nothing is pending.
+func (sm *SM) nextEvent(now int64) int64 {
+	next := int64(-1)
+	consider := func(t int64) {
+		if t > now && (next < 0 || t < next) {
+			next = t
+		}
+	}
+	if len(sm.memComplete) > 0 {
+		consider(sm.memComplete[0])
+	}
+	for len(sm.wakeups) > 0 && sm.wakeups[0] <= now {
+		heap.Pop(&sm.wakeups)
+	}
+	if len(sm.wakeups) > 0 {
+		consider(sm.wakeups[0])
+	}
+	return next
+}
+
+// step advances the SM by one cycle; returns the number of instructions
+// issued.
+func (sm *SM) step(now int64) int {
+	sm.drainMemCompletions(now)
+	sm.sfuThisCycle = 0
+	issued := 0
+	for s := range sm.schedulers {
+		if sm.issueOne(&sm.schedulers[s], now) {
+			issued++
+		}
+	}
+	if len(sm.warps) > 0 {
+		sm.cyclesActive++
+		sm.occupancySum += int64(len(sm.warps))
+	}
+	sm.issued += int64(issued)
+	return issued
+}
+
+// issueOne lets one scheduler pick and issue at most one instruction.
+func (sm *SM) issueOne(sched *scheduler, now int64) bool {
+	// Candidate order: greedy (last issued) first, then priority /
+	// oldest-first. Walk candidates until one issues. The tried set is
+	// a bitmask over warp slots (Nw <= 64).
+	var tried uint64
+	if sm.dev.Timing.LooseRoundRobin {
+		sched.last = nil // round-robin: no greedy stickiness
+	}
+	if sched.last != nil && sched.last.Finished() {
+		// A finished warp's slot may already belong to a fresh warp;
+		// keeping it greedy would shadow that warp in the tried mask.
+		sched.last = nil
+	}
+	if sched.last != nil {
+		if sm.tryIssue(sched.last, now) {
+			return true
+		}
+		tried |= 1 << uint(sched.last.Widx)
+	}
+	for {
+		var pick *Warp
+		for _, w := range sm.warps {
+			if w.Widx%len(sm.schedulers) != sched.id || tried&(1<<uint(w.Widx)) != 0 {
+				continue
+			}
+			if w.Finished() || w.atBarrier {
+				continue
+			}
+			if pick == nil || sm.better(w, pick) {
+				pick = w
+			}
+		}
+		if pick == nil {
+			return false
+		}
+		tried |= 1 << uint(pick.Widx)
+		if sm.tryIssue(pick, now) {
+			sched.last = pick
+			return true
+		}
+	}
+}
+
+// better reports whether a should be scheduled before b (policy priority,
+// then age for greedy-then-oldest, or rotation for loose round-robin).
+func (sm *SM) better(a, b *Warp) bool {
+	pa, pb := sm.policy.Priority(a), sm.policy.Priority(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if sm.dev.Timing.LooseRoundRobin {
+		rot := int(sm.dev.now) % sm.dev.Config.MaxWarpsPerSM
+		ra := (a.Widx - rot + sm.dev.Config.MaxWarpsPerSM) % sm.dev.Config.MaxWarpsPerSM
+		rb := (b.Widx - rot + sm.dev.Config.MaxWarpsPerSM) % sm.dev.Config.MaxWarpsPerSM
+		return ra < rb
+	}
+	return a.Seq < b.Seq
+}
+
+// tryIssue attempts to issue w's next instruction at cycle now.
+func (sm *SM) tryIssue(w *Warp, now int64) bool {
+	if w.Finished() || w.atBarrier {
+		return false
+	}
+	pc := w.NextPC()
+	if pc < 0 {
+		sm.onWarpFinished(w)
+		return false
+	}
+	in := &w.CTA.kern.Instrs[pc]
+
+	if !w.scoreboardReady(in, now) {
+		w.ScoreStalls++
+		return false
+	}
+	// Structural hazards.
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassSFU:
+		if sm.sfuThisCycle >= sm.dev.Timing.SFUPortsPerSM {
+			return false
+		}
+	case isa.ClassMem:
+		if in.Op == isa.OpLdGlobal || in.Op == isa.OpStGlobal {
+			if sm.memInFlight >= sm.dev.Timing.MaxInFlightMem {
+				w.MemStalls++
+				return false
+			}
+		}
+	}
+	// Policy gate (acquire/release, OWF locks, RFV allocation).
+	if !sm.policy.TryIssue(w, in, now) {
+		w.AcqStalls++
+		return false
+	}
+
+	// Commit: the instruction issues this cycle.
+	active := w.activeMask()
+	exec := w.guardMask(in, active)
+	if in.Op == isa.OpSelp {
+		exec = active // guard is a selector, not an execution filter
+	}
+
+	switch in.Op {
+	case isa.OpBarSync:
+		w.advance(in, pc, active, 0)
+		sm.arriveBarrier(w)
+	case isa.OpExit:
+		w.exitLanes(exec)
+		w.advance(in, pc, active, 0)
+		if w.top() == nil {
+			sm.onWarpFinished(w)
+		}
+	default:
+		taken := sm.execute(w, in, pc, exec)
+		lat := sm.dev.Timing.latency(in.Op)
+		w.markWrite(in, now+lat)
+		if isa.HasDst(in.Op) || in.Op == isa.OpSetp || in.Op == isa.OpSetpF {
+			heap.Push(&sm.wakeups, now+lat)
+		}
+		if in.Op == isa.OpLdGlobal || in.Op == isa.OpStGlobal {
+			sm.memInFlight++
+			heap.Push(&sm.memComplete, now+lat)
+		}
+		if in.Op == isa.OpBra {
+			// taken = guard-true lanes; everyone else in the active
+			// mask falls through.
+			w.advance(in, pc, active, taken)
+		} else {
+			w.advance(in, pc, active, 0)
+		}
+		if isa.ClassOf(in.Op) == isa.ClassSFU {
+			sm.sfuThisCycle++
+		}
+	}
+
+	// Register file traffic accounting (warp-row granularity, the unit
+	// the energy model charges).
+	for si := 0; si < isa.NumSrcs(in.Op); si++ {
+		if in.Srcs[si].Kind == isa.OpndReg {
+			sm.rfReads++
+		}
+	}
+	if isa.HasDst(in.Op) {
+		sm.rfWrites++
+	}
+
+	w.Issued++
+	sm.policy.OnIssued(w, in, now)
+	if w.top() == nil {
+		sm.onWarpFinished(w)
+	}
+	return true
+}
+
+// arriveBarrier parks w until all live warps of its CTA arrive.
+func (sm *SM) arriveBarrier(w *Warp) {
+	cta := w.CTA
+	w.atBarrier = true
+	cta.barWaiting++
+	if cta.barWaiting >= cta.liveWarps() {
+		for _, x := range cta.warps {
+			x.atBarrier = false
+		}
+		cta.barWaiting = 0
+	}
+}
+
+// onWarpFinished handles warp completion and CTA retirement.
+func (sm *SM) onWarpFinished(w *Warp) {
+	if w.retired {
+		return
+	}
+	w.retired = true
+	w.finished = true
+	sm.policy.OnWarpExit(w)
+	cta := w.CTA
+	cta.doneWarps++
+	// A warp that exits while others wait at a barrier could strand
+	// them; kernels are barrier-uniform, but release defensively.
+	if cta.barWaiting >= cta.liveWarps() && cta.liveWarps() > 0 {
+		for _, x := range cta.warps {
+			if !x.Finished() {
+				x.atBarrier = false
+			}
+		}
+		cta.barWaiting = 0
+	}
+	if cta.doneWarps == len(cta.warps) {
+		sm.retireCTA(cta)
+		sm.dev.onCTAComplete(sm)
+	}
+}

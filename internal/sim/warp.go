@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math/bits"
+
+	"regmutex/internal/isa"
+)
+
+// laneMask is a 32-bit active-thread mask.
+type laneMask uint32
+
+const fullMask laneMask = 0xFFFFFFFF
+
+func maskFor(threads int) laneMask {
+	if threads >= isa.WarpSize {
+		return fullMask
+	}
+	return laneMask(1)<<uint(threads) - 1
+}
+
+// stackEntry is one SIMT reconvergence stack frame.
+type stackEntry struct {
+	pc   int
+	rpc  int // reconvergence PC; -1 = never (bottom frame / exit-joined)
+	mask laneMask
+}
+
+// Warp is one resident warp: SIMT control state, per-lane register values,
+// and scoreboard timing.
+type Warp struct {
+	// Identity.
+	Seq     int // global launch order, for oldest-first scheduling
+	Widx    int // warp slot index within the SM (the paper's Widx)
+	CTA     *CTAState
+	LaneCnt int // live threads (last warp of a CTA may be partial)
+
+	stack []stackEntry
+	done  laneMask // lanes that executed EXIT
+
+	// Functional state: per-architected-register, per-lane values.
+	regs  [][isa.WarpSize]uint64
+	preds [][isa.WarpSize]bool
+
+	// Scoreboard: cycle at which each register's pending write lands.
+	regReady  []int64
+	predReady []int64
+
+	// Wait states.
+	atBarrier bool
+	finished  bool
+	retired   bool
+
+	// Per-warp counters.
+	Issued      int64
+	AcqStalls   int64
+	MemStalls   int64
+	ScoreStalls int64
+}
+
+func newWarp(k *isa.Kernel, seq, widx int, cta *CTAState, lanes int) *Warp {
+	w := &Warp{
+		Seq:       seq,
+		Widx:      widx,
+		CTA:       cta,
+		LaneCnt:   lanes,
+		stack:     []stackEntry{{pc: 0, rpc: -1, mask: maskFor(lanes)}},
+		regs:      make([][isa.WarpSize]uint64, k.NumRegs),
+		preds:     make([][isa.WarpSize]bool, k.NumPRegs),
+		regReady:  make([]int64, k.NumRegs),
+		predReady: make([]int64, k.NumPRegs),
+	}
+	return w
+}
+
+// Finished reports whether every lane has exited.
+func (w *Warp) Finished() bool { return w.finished }
+
+// top returns the current stack frame after popping reconverged and
+// fully-exited frames. Returns nil when the warp has finished.
+func (w *Warp) top() *stackEntry {
+	for len(w.stack) > 0 {
+		t := &w.stack[len(w.stack)-1]
+		if t.mask&^w.done == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if t.rpc >= 0 && t.pc == t.rpc {
+			// Reconverged: merge into the frame below, which waits at
+			// this PC.
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return t
+	}
+	w.finished = true
+	return nil
+}
+
+// NextPC returns the warp's next instruction index, or -1 when finished.
+func (w *Warp) NextPC() int {
+	t := w.top()
+	if t == nil {
+		return -1
+	}
+	return t.pc
+}
+
+// activeMask returns the lanes that execute at the current frame.
+func (w *Warp) activeMask() laneMask {
+	t := w.top()
+	if t == nil {
+		return 0
+	}
+	return t.mask &^ w.done
+}
+
+// guardMask narrows active to the lanes passing the instruction's guard.
+func (w *Warp) guardMask(in *isa.Instr, active laneMask) laneMask {
+	if in.Guard.Unguarded() {
+		return active
+	}
+	var m laneMask
+	p := w.preds[in.Guard.Pred]
+	for l := 0; l < isa.WarpSize; l++ {
+		if active&(1<<uint(l)) == 0 {
+			continue
+		}
+		if p[l] != in.Guard.Neg {
+			m |= 1 << uint(l)
+		}
+	}
+	return m
+}
+
+// scoreboardReady reports whether the instruction's source and destination
+// registers have no pending writes at the given cycle.
+func (w *Warp) scoreboardReady(in *isa.Instr, now int64) bool {
+	if isa.HasDst(in.Op) && w.regReady[in.Dst] > now {
+		return false
+	}
+	for s := 0; s < isa.NumSrcs(in.Op); s++ {
+		if in.Srcs[s].Kind == isa.OpndReg && w.regReady[in.Srcs[s].Reg] > now {
+			return false
+		}
+	}
+	if (in.Op == isa.OpSetp || in.Op == isa.OpSetpF) && w.predReady[in.PDst] > now {
+		return false
+	}
+	if !in.Guard.Unguarded() && w.predReady[in.Guard.Pred] > now {
+		return false
+	}
+	return true
+}
+
+// markWrite records the writeback time of the instruction's destination.
+func (w *Warp) markWrite(in *isa.Instr, ready int64) {
+	if isa.HasDst(in.Op) {
+		w.regReady[in.Dst] = ready
+	}
+	if in.Op == isa.OpSetp || in.Op == isa.OpSetpF {
+		w.predReady[in.PDst] = ready
+	}
+}
+
+// advance moves control flow past the just-executed instruction.
+// For branches, taken holds the lanes that jump.
+func (w *Warp) advance(in *isa.Instr, pc int, active, taken laneMask) {
+	t := w.top()
+	if t == nil {
+		return
+	}
+	switch {
+	case in.Op != isa.OpBra:
+		t.pc = pc + 1
+	case taken == active: // uniform taken
+		t.pc = in.Target
+	case taken == 0: // uniform not-taken
+		t.pc = pc + 1
+	default: // divergence
+		rpc := in.Reconv
+		t.pc = rpc // this frame becomes the reconvergence continuation
+		if rpc < 0 {
+			// Paths only rejoin at exit: the parent frame dissolves
+			// into the two children.
+			w.stack = w.stack[:len(w.stack)-1]
+		}
+		notTaken := active &^ taken
+		w.stack = append(w.stack,
+			stackEntry{pc: pc + 1, rpc: rpc, mask: notTaken},
+			stackEntry{pc: in.Target, rpc: rpc, mask: taken},
+		)
+	}
+}
+
+// exitLanes marks lanes as done.
+func (w *Warp) exitLanes(m laneMask) { w.done |= m }
+
+// StackDepth reports the current divergence depth (diagnostics).
+func (w *Warp) StackDepth() int { return len(w.stack) }
+
+// ActiveLaneCount returns the number of currently active lanes.
+func (w *Warp) ActiveLaneCount() int { return bits.OnesCount32(uint32(w.activeMask())) }

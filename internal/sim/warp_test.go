@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regmutex/internal/isa"
+)
+
+func testWarp(lanes int) *Warp {
+	k := &isa.Kernel{NumRegs: 8, NumPRegs: 2}
+	return newWarp(k, 0, 0, &CTAState{}, lanes)
+}
+
+func TestMaskFor(t *testing.T) {
+	if maskFor(32) != fullMask {
+		t.Error("full warp mask")
+	}
+	if maskFor(48) != fullMask {
+		t.Error("oversized clamps to full")
+	}
+	if maskFor(8) != 0xFF {
+		t.Errorf("partial mask = %x", maskFor(8))
+	}
+}
+
+func TestSIMTDivergeAndReconverge(t *testing.T) {
+	w := testWarp(32)
+	bra := isa.NewInstr(isa.OpBra)
+	bra.Target = 10
+	bra.Reconv = 20
+	bra.Guard = isa.Guard{Pred: 0}
+
+	// Diverge at pc 5: lanes 0..15 taken, 16..31 fall through.
+	taken := laneMask(0x0000FFFF)
+	w.advance(&bra, 5, fullMask, taken)
+
+	if w.StackDepth() != 3 {
+		t.Fatalf("stack depth = %d, want 3 (reconv + 2 arms)", w.StackDepth())
+	}
+	// Taken path executes first.
+	if pc := w.NextPC(); pc != 10 {
+		t.Fatalf("NextPC = %d, want taken target 10", pc)
+	}
+	if got := w.activeMask(); got != taken {
+		t.Fatalf("active = %x, want %x", got, taken)
+	}
+	// March the taken arm to the reconvergence point.
+	nop := isa.NewInstr(isa.OpNop)
+	for pc := 10; pc < 20; pc++ {
+		w.advance(&nop, pc, w.activeMask(), 0)
+	}
+	// Now the fall-through arm runs.
+	if pc := w.NextPC(); pc != 6 {
+		t.Fatalf("NextPC = %d, want fall-through 6", pc)
+	}
+	if got := w.activeMask(); got != ^taken&fullMask {
+		t.Fatalf("active = %x, want %x", got, ^taken&fullMask)
+	}
+	for pc := 6; pc < 20; pc++ {
+		w.advance(&nop, pc, w.activeMask(), 0)
+	}
+	// Both arms done: reconverged with the full mask at pc 20.
+	if pc := w.NextPC(); pc != 20 {
+		t.Fatalf("NextPC = %d, want reconvergence 20", pc)
+	}
+	if got := w.activeMask(); got != fullMask {
+		t.Fatalf("active after reconvergence = %x", got)
+	}
+	if w.StackDepth() != 1 {
+		t.Errorf("stack depth = %d after reconvergence", w.StackDepth())
+	}
+}
+
+func TestSIMTUniformBranches(t *testing.T) {
+	w := testWarp(32)
+	bra := isa.NewInstr(isa.OpBra)
+	bra.Target = 42
+	bra.Reconv = 50
+	// All taken: no divergence entry.
+	w.advance(&bra, 5, fullMask, fullMask)
+	if w.StackDepth() != 1 || w.NextPC() != 42 {
+		t.Errorf("uniform taken: depth %d pc %d", w.StackDepth(), w.NextPC())
+	}
+	// None taken: fall through.
+	w2 := testWarp(32)
+	w2.advance(&bra, 5, fullMask, 0)
+	if w2.StackDepth() != 1 || w2.NextPC() != 6 {
+		t.Errorf("uniform not-taken: depth %d pc %d", w2.StackDepth(), w2.NextPC())
+	}
+}
+
+func TestSIMTExitLanes(t *testing.T) {
+	w := testWarp(32)
+	w.exitLanes(0x0000FFFF)
+	if w.ActiveLaneCount() != 16 {
+		t.Errorf("active lanes = %d, want 16", w.ActiveLaneCount())
+	}
+	if w.Finished() {
+		t.Error("warp must not finish with live lanes")
+	}
+	w.exitLanes(0xFFFF0000)
+	if w.NextPC() != -1 || !w.Finished() {
+		t.Error("warp must finish when all lanes exit")
+	}
+}
+
+func TestSIMTExitInsideDivergence(t *testing.T) {
+	w := testWarp(32)
+	bra := isa.NewInstr(isa.OpBra)
+	bra.Target = 10
+	bra.Reconv = 20
+	bra.Guard = isa.Guard{Pred: 0}
+	taken := laneMask(0x000000FF)
+	w.advance(&bra, 5, fullMask, taken)
+	// The taken arm exits its lanes entirely.
+	w.exitLanes(taken)
+	// Control moves straight to the fall-through arm.
+	if pc := w.NextPC(); pc != 6 {
+		t.Fatalf("NextPC = %d, want 6", pc)
+	}
+	nop := isa.NewInstr(isa.OpNop)
+	for pc := 6; pc < 20; pc++ {
+		w.advance(&nop, pc, w.activeMask(), 0)
+	}
+	if pc := w.NextPC(); pc != 20 {
+		t.Fatalf("NextPC = %d, want reconvergence 20", pc)
+	}
+	if w.ActiveLaneCount() != 24 {
+		t.Errorf("active = %d, want 24 (8 exited)", w.ActiveLaneCount())
+	}
+}
+
+func TestScoreboard(t *testing.T) {
+	w := testWarp(32)
+	write := isa.NewInstr(isa.OpIAdd)
+	write.Dst = 3
+	write.Srcs[0] = isa.R(1)
+	write.Srcs[1] = isa.Imm(1)
+
+	if !w.scoreboardReady(&write, 0) {
+		t.Fatal("fresh warp must be ready")
+	}
+	w.markWrite(&write, 100) // r3 busy until cycle 100
+
+	readR3 := isa.NewInstr(isa.OpMov)
+	readR3.Dst = 4
+	readR3.Srcs[0] = isa.R(3)
+	if w.scoreboardReady(&readR3, 50) {
+		t.Error("RAW hazard not detected")
+	}
+	if !w.scoreboardReady(&readR3, 100) {
+		t.Error("ready at writeback time")
+	}
+	// WAW on r3 also blocks.
+	if w.scoreboardReady(&write, 50) {
+		t.Error("WAW hazard not detected")
+	}
+	// Unrelated registers unaffected.
+	other := isa.NewInstr(isa.OpMov)
+	other.Dst = 6
+	other.Srcs[0] = isa.R(1)
+	if !w.scoreboardReady(&other, 50) {
+		t.Error("independent instruction blocked")
+	}
+}
+
+func TestScoreboardPredicates(t *testing.T) {
+	w := testWarp(32)
+	setp := isa.NewInstr(isa.OpSetp)
+	setp.PDst = 1
+	setp.Srcs[0] = isa.R(0)
+	setp.Srcs[1] = isa.Imm(0)
+	w.markWrite(&setp, 40)
+
+	guarded := isa.NewInstr(isa.OpMov)
+	guarded.Dst = 2
+	guarded.Srcs[0] = isa.Imm(1)
+	guarded.Guard = isa.Guard{Pred: 1}
+	if w.scoreboardReady(&guarded, 10) {
+		t.Error("guard predicate hazard not detected")
+	}
+	if !w.scoreboardReady(&guarded, 40) {
+		t.Error("ready once the predicate lands")
+	}
+}
+
+func TestGuardMask(t *testing.T) {
+	w := testWarp(32)
+	for l := 0; l < 32; l++ {
+		w.preds[0][l] = l%2 == 0
+	}
+	in := isa.NewInstr(isa.OpMov)
+	in.Dst = 1
+	in.Srcs[0] = isa.Imm(1)
+	in.Guard = isa.Guard{Pred: 0}
+	if got := w.guardMask(&in, fullMask); got != 0x55555555 {
+		t.Errorf("guard mask = %x", got)
+	}
+	in.Guard.Neg = true
+	if got := w.guardMask(&in, fullMask); got != 0xAAAAAAAA {
+		t.Errorf("negated guard mask = %x", got)
+	}
+	// Guard interacts with the active mask.
+	if got := w.guardMask(&in, 0x0000FFFF); got != 0x0000AAAA {
+		t.Errorf("masked guard = %x", got)
+	}
+}
+
+func TestEventHeap(t *testing.T) {
+	var h eventHeap
+	push := func(v int64) {
+		h = append(h, v)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if h[p] <= h[i] {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	_ = push
+	// Use the container/heap interface through the SM helpers instead:
+	sm := &SM{}
+	for _, v := range []int64{50, 10, 30, 20, 40} {
+		sm.wakeups = append(sm.wakeups, v)
+	}
+	// heap property is established lazily via nextEvent's Pop usage in
+	// real code; here just verify Less/Swap/Len contract.
+	if sm.wakeups.Len() != 5 {
+		t.Fatal("len")
+	}
+	if !sm.wakeups.Less(1, 0) {
+		t.Error("Less compares values")
+	}
+	sm.wakeups.Swap(0, 1)
+	if sm.wakeups[0] != 10 {
+		t.Error("Swap")
+	}
+}
+
+// Property: advance never loses or duplicates lanes — the union of all
+// stack masks (minus exited lanes) equals the original active set.
+func TestSIMTLaneConservationProperty(t *testing.T) {
+	f := func(takenRaw uint32, exitRaw uint32) bool {
+		w := testWarp(32)
+		bra := isa.NewInstr(isa.OpBra)
+		bra.Target = 10
+		bra.Reconv = 20
+		bra.Guard = isa.Guard{Pred: 0}
+		taken := laneMask(takenRaw)
+		w.advance(&bra, 5, fullMask, taken)
+		w.exitLanes(laneMask(exitRaw))
+
+		var union laneMask
+		for _, e := range w.stack {
+			union |= e.mask
+		}
+		return union&^w.done == fullMask&^w.done
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimingLatencyTable(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.latency(isa.OpIAdd) != tm.ALULatency {
+		t.Error("ALU latency")
+	}
+	if tm.latency(isa.OpFFma) != tm.FPLatency {
+		t.Error("FP latency")
+	}
+	if tm.latency(isa.OpFSin) != tm.SFULatency {
+		t.Error("SFU latency")
+	}
+	if tm.latency(isa.OpLdGlobal) != tm.GlobalLatency {
+		t.Error("global latency")
+	}
+	if tm.latency(isa.OpLdShared) != tm.SharedLatency {
+		t.Error("shared latency")
+	}
+	if tm.latency(isa.OpLdGlobal) <= tm.latency(isa.OpIAdd) {
+		t.Error("memory must dominate ALU for latency hiding to matter")
+	}
+}

@@ -1,0 +1,217 @@
+// Package regmutex is a full reproduction of "RegMutex: Inter-Warp GPU
+// Register Time-Sharing" (Khorasani et al., ISCA 2018) — the compiler
+// passes, the microarchitecture, the baselines it is compared against,
+// and the simulator and workloads needed to regenerate the paper's
+// evaluation — implemented from scratch in pure Go.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Kernels are authored with NewBuilder or parsed from assembly text
+//     with ParseAsm (see internal/asm for the format).
+//   - Transform runs the RegMutex compiler pass of section III-A:
+//     liveness analysis, extended-set sizing, register index compaction,
+//     and acquire/release injection.
+//   - NewDevice + Run simulate a kernel on a Fermi-class GPU model under
+//     one of the register allocation policies: NewStaticPolicy (the
+//     baseline), NewRegMutexPolicy, NewPairedPolicy (section III-C),
+//     NewOWFPolicy and NewRFVPolicy (the related work of section IV-C).
+//   - Workloads returns the sixteen Table I applications; the harness
+//     functions (Fig7, Fig8, ...) regenerate each of the paper's tables
+//     and figures.
+//
+// Quick start:
+//
+//	k, _ := regmutex.ParseAsm(src)
+//	res, _ := regmutex.Transform(k, regmutex.Options{Config: regmutex.GTX480()})
+//	dev, _ := regmutex.NewDevice(regmutex.GTX480(), regmutex.DefaultTiming(),
+//	    res.Kernel, regmutex.NewRegMutexPolicy(regmutex.GTX480()), nil)
+//	stats, _ := dev.Run()
+package regmutex
+
+import (
+	"regmutex/internal/asm"
+	"regmutex/internal/core"
+	"regmutex/internal/energy"
+	"regmutex/internal/harness"
+	"regmutex/internal/isa"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// Kernel program model (see internal/isa).
+type (
+	// Kernel is a GPU kernel: code plus launch resources.
+	Kernel = isa.Kernel
+	// Builder assembles kernels programmatically.
+	Builder = isa.Builder
+	// Instr is one machine instruction.
+	Instr = isa.Instr
+	// Reg is an architected register index.
+	Reg = isa.Reg
+	// RegSet is a bitset of architected registers.
+	RegSet = isa.RegSet
+	// Operand is an instruction source operand.
+	Operand = isa.Operand
+)
+
+// NewBuilder starts a kernel with the given name and resource shape
+// (architected registers, predicate registers, threads per CTA).
+func NewBuilder(name string, numRegs, numPRegs, threadsPerCTA int) *Builder {
+	return isa.NewBuilder(name, numRegs, numPRegs, threadsPerCTA)
+}
+
+// R makes a register operand for the Builder.
+func R(r Reg) Operand { return isa.R(r) }
+
+// Imm makes an integer immediate operand.
+func Imm(v int64) Operand { return isa.Imm(v) }
+
+// FImm makes a floating-point immediate operand.
+func FImm(v float64) Operand { return isa.FImm(v) }
+
+// Comparison operators for Builder.Setp / Builder.SetpF.
+const (
+	CmpEQ = isa.CmpEQ
+	CmpNE = isa.CmpNE
+	CmpLT = isa.CmpLT
+	CmpLE = isa.CmpLE
+	CmpGT = isa.CmpGT
+	CmpGE = isa.CmpGE
+)
+
+// Special hardware registers for Builder.MovSpecial.
+const (
+	SpecTID    = isa.SpecTID
+	SpecNTID   = isa.SpecNTID
+	SpecCTAID  = isa.SpecCTAID
+	SpecNCTAID = isa.SpecNCTAID
+	SpecLaneID = isa.SpecLaneID
+	SpecWarpID = isa.SpecWarpID
+)
+
+// ParseAsm assembles kernel text (see internal/asm for the format).
+func ParseAsm(src string) (*Kernel, error) { return asm.Parse(src) }
+
+// FormatAsm renders a kernel as assembly text; ParseAsm round-trips it.
+func FormatAsm(k *Kernel) string { return asm.Format(k) }
+
+// Machine configuration (see internal/occupancy).
+type (
+	// Config describes the simulated GPU.
+	Config = occupancy.Config
+	// OccupancyResult is a theoretical occupancy computation.
+	OccupancyResult = occupancy.Result
+)
+
+// GTX480 is the paper's baseline machine: 15 SMs, 128 KB register file
+// per SM, 48 warp slots, 2 greedy-then-oldest schedulers.
+func GTX480() Config { return occupancy.GTX480() }
+
+// GTX480Half is the register-file-size-reduction machine of section IV-B.
+func GTX480Half() Config { return occupancy.GTX480Half() }
+
+// K20 is a Kepler-class machine used by the generality study: twice the
+// registers, but also twice the warp slots, so kernels above 32 registers
+// per thread stay occupancy-limited (paper section IV's argument).
+func K20() Config { return occupancy.K20() }
+
+// Occupancy computes the kernel's theoretical occupancy under static
+// allocation on the given machine.
+func Occupancy(c Config, k *Kernel) OccupancyResult { return occupancy.Baseline(c, k) }
+
+// The RegMutex compiler (see internal/core).
+type (
+	// Options configures Transform.
+	Options = core.Options
+	// Result is the outcome of the RegMutex pass.
+	Result = core.Result
+	// Split is a chosen |Bs| / |Es| division.
+	Split = core.Split
+)
+
+// Transform runs the RegMutex compiler pipeline of paper section III-A on
+// k: liveness analysis, extended-set size selection, register index
+// compaction, and acquire/release injection. k is not modified.
+func Transform(k *Kernel, opt Options) (*Result, error) { return core.Transform(k, opt) }
+
+// Prepare annotates a kernel for simulation without the RegMutex pass
+// (reconvergence points and dead-value metadata); use it for baseline,
+// OWF, and RFV runs.
+func Prepare(k *Kernel) (*Kernel, error) { return core.Prepare(k) }
+
+// The simulator (see internal/sim).
+type (
+	// Device is a simulated GPU.
+	Device = sim.Device
+	// Stats summarises a finished run.
+	Stats = sim.Stats
+	// Timing is the latency/structural model.
+	Timing = sim.Timing
+	// Policy decides how physical registers are allocated.
+	Policy = sim.Policy
+	// DeviceEvent is a coarse notification delivered to Device.Listener
+	// (CTA launches and retirements, extended-set acquires and releases).
+	DeviceEvent = sim.Event
+)
+
+// DefaultTiming returns the timing model used in the evaluation.
+func DefaultTiming() Timing { return sim.DefaultTiming() }
+
+// NewDevice builds a device for the kernel under the given policy; pass a
+// nil policy for the static baseline and nil global memory for a
+// zero-filled heap sized by the kernel.
+func NewDevice(cfg Config, t Timing, k *Kernel, pol Policy, global []uint64) (*Device, error) {
+	return sim.NewDevice(cfg, t, k, pol, global)
+}
+
+// NewMultiDevice co-schedules CTAs of several dissimilar kernels on the
+// same SMs. Per paper section IV, RegMutex does not support this mode:
+// kernels must carry no extended set (use Prepare, not Transform), and
+// execution falls back to static, exclusive allocation. Each kernel gets
+// its own global memory; read results back with Device.GlobalOf.
+func NewMultiDevice(cfg Config, t Timing, kernels []*Kernel, globals [][]uint64) (*Device, error) {
+	return sim.NewMultiDevice(cfg, t, kernels, globals)
+}
+
+// NewStaticPolicy is the baseline static, exclusive register allocation.
+func NewStaticPolicy(cfg Config) Policy { return sim.NewStaticPolicy(cfg) }
+
+// NewRegMutexPolicy time-shares extended register sets out of the Shared
+// Register Pool (sections III-B1 and III-B2). The kernel must have been
+// compiled with Transform.
+func NewRegMutexPolicy(cfg Config) Policy { return sim.NewRegMutexPolicy(cfg) }
+
+// NewPairedPolicy is the paired-warps specialisation (section III-C).
+func NewPairedPolicy(cfg Config) Policy { return sim.NewPairedPolicy(cfg) }
+
+// NewOWFPolicy models the resource sharing scheme of Jatala et al. with
+// Owner Warp First scheduling; threshold is the shared-register boundary.
+func NewOWFPolicy(cfg Config, threshold int) Policy { return sim.NewOWFPolicy(cfg, threshold) }
+
+// NewRFVPolicy models register file virtualization (Jeon et al.).
+func NewRFVPolicy(cfg Config) Policy { return sim.NewRFVPolicy(cfg) }
+
+// Workloads (see internal/workloads).
+type Workload = workloads.Workload
+
+// Workloads returns the sixteen Table I applications.
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadByName finds one Table I application.
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// Register file energy model (see internal/energy).
+type (
+	// EnergyModel prices register file accesses and leakage.
+	EnergyModel = energy.Model
+	// EnergyReport is a per-run register file energy breakdown.
+	EnergyReport = energy.Report
+)
+
+// DefaultEnergyModel returns representative 40 nm-class parameters.
+func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
+
+// Experiment harness (see internal/harness): regenerates the paper's
+// tables and figures.
+type ExperimentOptions = harness.Options
