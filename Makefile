@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test verify bench quick
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full gate: compile, vet, and the whole test suite under the race
+# detector (the parallel experiment engine's concurrency contract).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+quick:
+	$(GO) run ./cmd/paperbench -quick

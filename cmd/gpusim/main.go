@@ -19,6 +19,7 @@ import (
 	"regmutex/internal/core"
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
+	"regmutex/internal/runpool"
 	"regmutex/internal/sim"
 	"regmutex/internal/workloads"
 )
@@ -31,6 +32,7 @@ func main() {
 	sms := flag.Int("sms", 0, "override SM count")
 	seed := flag.Uint64("seed", 42, "input seed")
 	trace := flag.Bool("trace", false, "print an occupancy / SRP-holders timeline")
+	jobs := flag.Int("j", 0, "policies to simulate concurrently with -policy all (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	machine := occupancy.GTX480()
@@ -68,21 +70,43 @@ func main() {
 	if *policy == "all" {
 		names = []string{"static", "regmutex", "paired", "owf", "rfv"}
 	}
+	// Policies are independent simulations: fan them out through a pool
+	// and collect in the fixed order so the report (and static's role as
+	// the delta reference) is identical at any -j.
+	pool := runpool.New(*jobs)
+	type result struct {
+		st      sim.Stats
+		samples []sim.Sample
+	}
+	futs := make([]*runpool.Future, len(names))
+	for i, name := range names {
+		name := name
+		futs[i] = pool.Submit(func() (any, error) {
+			var r result
+			st, err := runPolicy(machine, k, input, name, func(d *sim.Device) {
+				if *trace {
+					d.SampleInterval = 512
+					d.Sampler = func(sm sim.Sample) { r.samples = append(r.samples, sm) }
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			r.st = st
+			return r, nil
+		})
+	}
 	fmt.Printf("%-10s %12s %12s %10s %10s %10s %12s\n", "policy", "cycles", "instrs", "avg warps", "acq ok%", "IPC/SM", "stalls s/m/a")
 	var baseCycles int64
-	for _, name := range names {
-		var samples []sim.Sample
-		st, err := runPolicy(machine, k, input, name, func(d *sim.Device) {
-			if *trace {
-				d.SampleInterval = 512
-				d.Sampler = func(sm sim.Sample) { samples = append(samples, sm) }
-			}
-		})
+	for i, name := range names {
+		v, err := futs[i].Wait()
 		if err != nil {
 			fatal(err)
 		}
+		r := v.(result)
+		st := r.st
 		if *trace {
-			printTimeline(machine, name, samples)
+			printTimeline(machine, name, r.samples)
 		}
 		ipc := float64(st.Instructions) / float64(st.Cycles) / float64(machine.NumSMs)
 		delta := ""

@@ -13,10 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"regmutex/internal/harness"
+	"regmutex/internal/runpool"
 )
 
 func main() {
@@ -25,9 +25,18 @@ func main() {
 	scale := flag.Int("scale", 0, "explicit grid divisor (overrides -quick)")
 	sms := flag.Int("sms", 0, "override SM count (0 = machine default)")
 	seed := flag.Uint64("seed", 42, "input generator seed")
+	jobs := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	o := harness.Options{Scale: 1, Seed: *seed, NumSMs: *sms}
+	// One pool for the whole invocation: experiments share its memo
+	// cache, so e.g. fig9a reuses the baselines fig7 already simulated.
+	pool := runpool.New(*jobs)
+	o := harness.Options{Scale: 1, Seed: *seed, NumSMs: *sms, Pool: pool}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			o.SeedSet = true
+		}
+	})
 	if *quick {
 		o.Scale = 4
 		if o.NumSMs == 0 {
@@ -180,6 +189,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
-	fmt.Fprintf(out, "\n[%d experiment(s), scale %d, %s]\n", ran, o.Scale, time.Since(start).Round(time.Millisecond))
-	_ = strings.TrimSpace
+	hits, misses := pool.CacheStats()
+	fmt.Fprintf(out, "\n[%d experiment(s), scale %d, %s; %d worker(s), %d simulated + %d cached]\n",
+		ran, o.Scale, time.Since(start).Round(time.Millisecond), pool.Workers(), misses, hits)
 }

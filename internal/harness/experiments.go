@@ -5,8 +5,9 @@ import (
 	"io"
 
 	"regmutex/internal/core"
+	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
-	"regmutex/internal/sim"
+	"regmutex/internal/runpool"
 	"regmutex/internal/workloads"
 )
 
@@ -35,25 +36,43 @@ type Table1Row struct {
 // study machine and compares against the paper's Table I.
 func Table1(o Options) ([]Table1Row, error) {
 	o = o.normalize()
-	var rows []Table1Row
+	type pending struct {
+		w *workloads.Workload
+		k *isa.Kernel
+		f *runpool.Future
+	}
+	var pend []pending
 	for _, w := range workloads.All() {
+		w := w
 		machine := occupancy.GTX480()
 		if !w.RegisterLimited {
 			machine = occupancy.GTX480Half()
 		}
 		k := w.Build(o.Scale)
-		res, err := core.Transform(k, core.Options{Config: machine})
+		key := fmt.Sprintf("transform|%016x|%+v", k.Fingerprint(), machine)
+		pend = append(pend, pending{w: w, k: k, f: o.Pool.SubmitKeyed(key, func() (any, error) {
+			res, err := core.Transform(k, core.Options{Config: machine})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s: %w", w.Name, err)
+			}
+			return res, nil
+		})})
+	}
+	var rows []Table1Row
+	for _, p := range pend {
+		v, err := p.f.Wait()
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", w.Name, err)
+			return nil, err
 		}
+		res := v.(*core.Result)
 		bs := res.Split.Bs
 		if res.Disabled() {
-			bs = k.AllocRegs()
+			bs = p.k.AllocRegs()
 		}
 		rows = append(rows, Table1Row{
-			Name: w.Name, Regs: k.NumRegs, RegsRounded: k.AllocRegs(),
-			Bs: bs, PaperRegs: w.PaperRegs, PaperBs: w.PaperBs,
-			Matches: bs == w.PaperBs,
+			Name: p.w.Name, Regs: p.k.NumRegs, RegsRounded: p.k.AllocRegs(),
+			Bs: bs, PaperRegs: p.w.PaperRegs, PaperBs: p.w.PaperBs,
+			Matches: bs == p.w.PaperBs,
 		})
 	}
 	return rows, nil
@@ -78,19 +97,32 @@ func PrintTable1(wr io.Writer, rows []Table1Row) {
 func Fig7(o Options) ([]AppResult, error) {
 	o = o.normalize()
 	cfg := o.machine(occupancy.GTX480())
-	var out []AppResult
+	type pending struct {
+		w    *workloads.Workload
+		base statsFuture
+		rm   rmFuture
+	}
+	var pend []pending
 	for _, w := range workloads.Fig7Set() {
 		k := w.Build(o.Scale)
-		base, err := baselineRun(o, cfg, w, k)
+		pend = append(pend, pending{
+			w:    w,
+			base: submitBaseline(o, cfg, w, k),
+			rm:   submitRegMutex(o, cfg, w, k, 0),
+		})
+	}
+	var out []AppResult
+	for _, p := range pend {
+		base, err := p.base.Wait()
 		if err != nil {
 			return nil, err
 		}
-		st, res, err := regmutexRun(o, cfg, w, k, 0)
+		st, res, err := p.rm.Wait()
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, AppResult{
-			Name:           w.Name,
+			Name:           p.w.Name,
 			BaselineCycles: base.Cycles,
 			Cycles:         st.Cycles,
 			ReductionPct:   reductionPct(base.Cycles, st.Cycles),
@@ -140,23 +172,37 @@ func Fig8(o Options) ([]Fig8Result, error) {
 	o = o.normalize()
 	full := o.machine(occupancy.GTX480())
 	half := o.machine(occupancy.GTX480Half())
-	var out []Fig8Result
+	type pending struct {
+		w            *workloads.Workload
+		fullF, halfF statsFuture
+		rm           rmFuture
+	}
+	var pend []pending
 	for _, w := range workloads.Fig8Set() {
 		k := w.Build(o.Scale)
-		fullSt, err := baselineRun(o, full, w, k)
+		pend = append(pend, pending{
+			w:     w,
+			fullF: submitBaseline(o, full, w, k),
+			halfF: submitBaseline(o, half, w, k),
+			rm:    submitRegMutex(o, half, w, k, 0),
+		})
+	}
+	var out []Fig8Result
+	for _, p := range pend {
+		fullSt, err := p.fullF.Wait()
 		if err != nil {
 			return nil, err
 		}
-		halfSt, err := baselineRun(o, half, w, k)
+		halfSt, err := p.halfF.Wait()
 		if err != nil {
 			return nil, err
 		}
-		rmSt, res, err := regmutexRun(o, half, w, k, 0)
+		rmSt, res, err := p.rm.Wait()
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, Fig8Result{
-			Name:           w.Name,
+			Name:           p.w.Name,
 			FullRFCycles:   fullSt.Cycles,
 			HalfNoRMCycles: halfSt.Cycles,
 			HalfRMCycles:   rmSt.Cycles,
@@ -215,40 +261,55 @@ func Fig9b(o Options) ([]CmpResult, error) {
 }
 
 func compareTechniques(o Options, refCfg, runCfg occupancy.Config, set []*workloads.Workload) ([]CmpResult, error) {
-	var out []CmpResult
+	type pending struct {
+		w         *workloads.Workload
+		ref       statsFuture
+		noTech    statsFuture
+		hasNoTech bool
+		rm        rmFuture
+		owf, rfv  statsFuture
+	}
+	var pend []pending
 	for _, w := range set {
 		k := w.Build(o.Scale)
-		ref, err := baselineRun(o, refCfg, w, k)
+		p := pending{
+			w:   w,
+			ref: submitBaseline(o, refCfg, w, k),
+			rm:  submitRegMutex(o, runCfg, w, k, 0),
+			owf: submitOWF(o, runCfg, w, k),
+			rfv: submitRFV(o, runCfg, w, k),
+		}
+		if refCfg.Name != runCfg.Name {
+			p.noTech = submitBaseline(o, runCfg, w, k)
+			p.hasNoTech = true
+		}
+		pend = append(pend, p)
+	}
+	var out []CmpResult
+	for _, p := range pend {
+		ref, err := p.ref.Wait()
 		if err != nil {
 			return nil, err
 		}
-		r := CmpResult{Name: w.Name, Baseline: ref.Cycles}
-		if refCfg.Name != runCfg.Name {
-			noSt, err := baselineRun(o, runCfg, w, k)
+		r := CmpResult{Name: p.w.Name, Baseline: ref.Cycles}
+		if p.hasNoTech {
+			noSt, err := p.noTech.Wait()
 			if err != nil {
 				return nil, err
 			}
 			r.NoTech = noSt.Cycles
 		}
-		rmSt, res, err := regmutexRun(o, runCfg, w, k, 0)
+		rmSt, _, err := p.rm.Wait()
 		if err != nil {
 			return nil, err
 		}
 		r.RegMutex = rmSt.Cycles
-
-		// OWF shares registers above the same |Bs| threshold RegMutex
-		// chose, making the comparison apples-to-apples on the split.
-		pre, err := core.Prepare(k)
-		if err != nil {
-			return nil, err
-		}
-		owfSt, err := runOne(o, runCfg, w, pre, sim.NewOWFPolicy(runCfg, res.Split.Bs))
+		owfSt, err := p.owf.Wait()
 		if err != nil {
 			return nil, err
 		}
 		r.OWF = owfSt.Cycles
-
-		rfvSt, err := runOne(o, runCfg, w, pre, sim.NewRFVPolicy(runCfg))
+		rfvSt, err := p.rfv.Wait()
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,6 @@ import (
 
 	"regmutex/internal/core"
 	"regmutex/internal/occupancy"
-	"regmutex/internal/sim"
 	"regmutex/internal/workloads"
 )
 
@@ -36,20 +35,34 @@ type EsSweepRow struct {
 func EsSweep(o Options) ([]EsSweepRow, error) {
 	o = o.normalize()
 	cfg := o.machine(occupancy.GTX480())
-	var out []EsSweepRow
+	type pending struct {
+		w    *workloads.Workload
+		heur *core.Result
+		base statsFuture
+		es   map[int]rmFuture
+	}
+	var pend []pending
 	for _, w := range workloads.Fig7Set() {
 		k := w.Build(o.Scale)
-		base, err := baselineRun(o, cfg, w, k)
-		if err != nil {
-			return nil, err
-		}
 		heur, err := core.Transform(k, core.Options{Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		row := EsSweepRow{Name: w.Name, HeuristicEs: heur.Split.Es, Points: map[int]*EsPoint{}}
+		p := pending{w: w, heur: heur, base: submitBaseline(o, cfg, w, k), es: map[int]rmFuture{}}
 		for _, es := range SweepEsValues {
-			st, res, err := regmutexRun(o, cfg, w, k, es)
+			p.es[es] = submitRegMutex(o, cfg, w, k, es)
+		}
+		pend = append(pend, p)
+	}
+	var out []EsSweepRow
+	for _, p := range pend {
+		base, err := p.base.Wait()
+		if err != nil {
+			return nil, err
+		}
+		row := EsSweepRow{Name: p.w.Name, HeuristicEs: p.heur.Split.Es, Points: map[int]*EsPoint{}}
+		for _, es := range SweepEsValues {
+			st, res, err := p.es[es].Wait()
 			if err != nil {
 				row.Points[es] = nil // infeasible (deadlock rules, compaction)
 				continue
@@ -133,24 +146,39 @@ func Fig12b(o Options) ([]PairedResult, error) {
 }
 
 func pairedStudy(o Options, refCfg, runCfg occupancy.Config, set []*workloads.Workload) ([]PairedResult, error) {
-	var out []PairedResult
+	type pending struct {
+		w    *workloads.Workload
+		ref  statsFuture
+		rm   rmFuture
+		pair statsFuture
+	}
+	var pend []pending
 	for _, w := range set {
 		k := w.Build(o.Scale)
-		ref, err := baselineRun(o, refCfg, w, k)
+		pend = append(pend, pending{
+			w:    w,
+			ref:  submitBaseline(o, refCfg, w, k),
+			rm:   submitRegMutex(o, runCfg, w, k, 0),
+			pair: submitPaired(o, runCfg, w, k),
+		})
+	}
+	var out []PairedResult
+	for _, p := range pend {
+		ref, err := p.ref.Wait()
 		if err != nil {
 			return nil, err
 		}
-		defSt, res, err := regmutexRun(o, runCfg, w, k, 0)
+		defSt, res, err := p.rm.Wait()
 		if err != nil {
 			return nil, err
 		}
-		pairSt, err := runOne(o, runCfg, w, res.Kernel, sim.NewPairedPolicy(runCfg))
+		pairSt, err := p.pair.Wait()
 		if err != nil {
 			return nil, err
 		}
 		occ := occupancy.PairedPairs(runCfg, res.Kernel, res.Split.Bs, res.Split.Es)
 		out = append(out, PairedResult{
-			Name:           w.Name,
+			Name:           p.w.Name,
 			BaselineCycles: ref.Cycles,
 			DefaultCycles:  defSt.Cycles,
 			PairedCycles:   pairSt.Cycles,
@@ -206,31 +234,40 @@ type Fig13Row struct {
 // register-limited eight on the baseline, the rest on the half-size RF.
 func Fig13(o Options) ([]Fig13Row, error) {
 	o = o.normalize()
-	var out []Fig13Row
-	add := func(set []*workloads.Workload, cfg occupancy.Config, half bool) error {
+	type pending struct {
+		w    *workloads.Workload
+		half bool
+		rm   rmFuture
+		pair statsFuture
+	}
+	var pend []pending
+	submit := func(set []*workloads.Workload, cfg occupancy.Config, half bool) {
 		for _, w := range set {
 			k := w.Build(o.Scale)
-			defSt, res, err := regmutexRun(o, cfg, w, k, 0)
-			if err != nil {
-				return err
-			}
-			pairSt, err := runOne(o, cfg, w, res.Kernel, sim.NewPairedPolicy(cfg))
-			if err != nil {
-				return err
-			}
-			out = append(out, Fig13Row{
-				Name: w.Name, HalfRF: half,
-				DefaultRate: defSt.AcquireSuccessRate(),
-				PairedRate:  pairSt.AcquireSuccessRate(),
+			pend = append(pend, pending{
+				w: w, half: half,
+				rm:   submitRegMutex(o, cfg, w, k, 0),
+				pair: submitPaired(o, cfg, w, k),
 			})
 		}
-		return nil
 	}
-	if err := add(workloads.Fig7Set(), o.machine(occupancy.GTX480()), false); err != nil {
-		return nil, err
-	}
-	if err := add(workloads.Fig8Set(), o.machine(occupancy.GTX480Half()), true); err != nil {
-		return nil, err
+	submit(workloads.Fig7Set(), o.machine(occupancy.GTX480()), false)
+	submit(workloads.Fig8Set(), o.machine(occupancy.GTX480Half()), true)
+	var out []Fig13Row
+	for _, p := range pend {
+		defSt, _, err := p.rm.Wait()
+		if err != nil {
+			return nil, err
+		}
+		pairSt, err := p.pair.Wait()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig13Row{
+			Name: p.w.Name, HalfRF: p.half,
+			DefaultRate: defSt.AcquireSuccessRate(),
+			PairedRate:  pairSt.AcquireSuccessRate(),
+		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].HalfRF != out[j].HalfRF {

@@ -38,14 +38,28 @@ func Energy(o Options) ([]EnergyRow, error) {
 	half := o.machine(occupancy.GTX480Half())
 	model := energy.DefaultModel()
 
-	var out []EnergyRow
+	type pending struct {
+		w    *workloads.Workload
+		full statsFuture
+		rm   rmFuture
+	}
+	var pend []pending
 	for _, w := range workloads.Fig8Set() {
 		k := w.Build(o.Scale)
-		fullSt, err := baselineRun(o, full, w, k)
+		pend = append(pend, pending{
+			w:    w,
+			full: submitBaseline(o, full, w, k),
+			rm:   submitRegMutex(o, half, w, k, 0),
+		})
+	}
+	var out []EnergyRow
+	for _, p := range pend {
+		w := p.w
+		fullSt, err := p.full.Wait()
 		if err != nil {
 			return nil, err
 		}
-		rmSt, _, err := regmutexRun(o, half, w, k, 0)
+		rmSt, _, err := p.rm.Wait()
 		if err != nil {
 			return nil, err
 		}
@@ -106,17 +120,31 @@ type GeneralityRow struct {
 func Generality(o Options) ([]GeneralityRow, error) {
 	o = o.normalize()
 	cfg := o.machine(occupancy.K20())
-	var out []GeneralityRow
+	type pending struct {
+		w    *workloads.Workload
+		base statsFuture
+		rm   rmFuture
+	}
+	var pend []pending
 	for _, w := range workloads.All() {
 		k := w.Build(o.Scale)
 		// The K20 hosts more CTAs per SM; double the grid so multiple
 		// waves still form.
 		k.GridCTAs *= 2
-		base, err := baselineRun(o, cfg, w, k)
+		pend = append(pend, pending{
+			w:    w,
+			base: submitBaseline(o, cfg, w, k),
+			rm:   submitRegMutex(o, cfg, w, k, 0),
+		})
+	}
+	var out []GeneralityRow
+	for _, p := range pend {
+		w := p.w
+		base, err := p.base.Wait()
 		if err != nil {
 			return nil, err
 		}
-		st, res, err := regmutexRun(o, cfg, w, k, 0)
+		st, res, err := p.rm.Wait()
 		if err != nil {
 			return nil, err
 		}
@@ -184,35 +212,49 @@ func SeedStability(o Options, seeds []uint64) ([]SeedRow, error) {
 		seeds = []uint64{11, 42, 1789}
 	}
 	cfg := o.machine(occupancy.GTX480())
-	rows := map[string]*SeedRow{}
-	var order []string
+	type pending struct {
+		w    *workloads.Workload
+		base statsFuture
+		rm   rmFuture
+	}
+	var pend []pending
 	for _, seed := range seeds {
 		so := o
 		so.Seed = seed
+		so.SeedSet = true
 		for _, w := range workloads.Fig7Set() {
 			k := w.Build(so.Scale)
-			base, err := baselineRun(so, cfg, w, k)
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := regmutexRun(so, cfg, w, k, 0)
-			if err != nil {
-				return nil, err
-			}
-			r := rows[w.Name]
-			if r == nil {
-				r = &SeedRow{Name: w.Name, Min: 1e18, Max: -1e18}
-				rows[w.Name] = r
-				order = append(order, w.Name)
-			}
-			red := reductionPct(base.Cycles, st.Cycles)
-			r.Reductions = append(r.Reductions, red)
-			if red < r.Min {
-				r.Min = red
-			}
-			if red > r.Max {
-				r.Max = red
-			}
+			pend = append(pend, pending{
+				w:    w,
+				base: submitBaseline(so, cfg, w, k),
+				rm:   submitRegMutex(so, cfg, w, k, 0),
+			})
+		}
+	}
+	rows := map[string]*SeedRow{}
+	var order []string
+	for _, p := range pend {
+		base, err := p.base.Wait()
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := p.rm.Wait()
+		if err != nil {
+			return nil, err
+		}
+		r := rows[p.w.Name]
+		if r == nil {
+			r = &SeedRow{Name: p.w.Name, Min: 1e18, Max: -1e18}
+			rows[p.w.Name] = r
+			order = append(order, p.w.Name)
+		}
+		red := reductionPct(base.Cycles, st.Cycles)
+		r.Reductions = append(r.Reductions, red)
+		if red < r.Min {
+			r.Min = red
+		}
+		if red > r.Max {
+			r.Max = red
 		}
 	}
 	var out []SeedRow

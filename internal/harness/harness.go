@@ -11,6 +11,7 @@ import (
 	"regmutex/internal/core"
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
+	"regmutex/internal/runpool"
 	"regmutex/internal/sim"
 	"regmutex/internal/workloads"
 )
@@ -22,22 +23,38 @@ type Options struct {
 	Scale int
 	// Seed drives the deterministic input generators.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, so a zero seed is honored
+	// instead of being replaced by the default (42). The flag layer sets
+	// it when the user passes -seed.
+	SeedSet bool
 	// Timing overrides the simulator's timing model when non-zero.
 	Timing sim.Timing
 	// NumSMs overrides the device's SM count when non-zero (scaled-down
 	// devices keep relative results while running much faster).
 	NumSMs int
+	// Jobs caps how many simulations run concurrently when normalize has
+	// to create a pool: 0 = all cores, 1 = the serial path.
+	Jobs int
+	// Pool fans simulations out across workers and caches results keyed
+	// by (kernel fingerprint, config, policy, seed, timing). Sharing one
+	// pool across experiments (as cmd/paperbench does) lets sweeps reuse
+	// each other's baselines; normalize creates a private pool when the
+	// caller leaves it nil.
+	Pool *runpool.Pool
 }
 
 func (o Options) normalize() Options {
 	if o.Scale < 1 {
 		o.Scale = 1
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = 42
 	}
 	if o.Timing.MaxCycles == 0 {
 		o.Timing = sim.DefaultTiming()
+	}
+	if o.Pool == nil {
+		o.Pool = runpool.New(o.Jobs)
 	}
 	return o
 }
@@ -85,6 +102,137 @@ func regmutexRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.
 		return sim.Stats{}, nil, err
 	}
 	return st, res, nil
+}
+
+// runKey identifies one simulation for the pool's memo cache. Everything
+// that can change the resulting Stats must appear: the source kernel's
+// fingerprint (code, grid, resource demands — and through them the
+// workload input), the machine config, the policy tag (with any policy
+// parameters encoded by the caller), the input seed, and the timing
+// model. Scale is covered by the fingerprint (it reshapes the grid).
+func runKey(o Options, cfg occupancy.Config, k *isa.Kernel, pol string) string {
+	return fmt.Sprintf("%s|%016x|%+v|seed=%d|%+v", pol, k.Fingerprint(), cfg, o.Seed, o.Timing)
+}
+
+// statsFuture is a pending simulation's Stats.
+type statsFuture struct{ f *runpool.Future }
+
+func (s statsFuture) Wait() (sim.Stats, error) {
+	v, err := s.f.Wait()
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	return v.(sim.Stats), nil
+}
+
+// rmRun pairs a RegMutex simulation with its transform result, which the
+// experiments mine for occupancy and split columns.
+type rmRun struct {
+	Stats sim.Stats
+	Res   *core.Result
+}
+
+// rmFuture is a pending RegMutex transform + simulation.
+type rmFuture struct{ f *runpool.Future }
+
+func (r rmFuture) Wait() (sim.Stats, *core.Result, error) {
+	v, err := r.f.Wait()
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+	run := v.(rmRun)
+	return run.Stats, run.Res, nil
+}
+
+// submitRun schedules runOne through o's pool, memoized under polKey.
+// Policies with parameters must encode them in polKey (e.g. "owf" runs
+// derive |Bs| deterministically from the kernel, so the bare tag is
+// enough for every policy the harness uses).
+func submitRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, pol sim.Policy, polKey string) statsFuture {
+	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, polKey), func() (any, error) {
+		st, err := runOne(o, cfg, w, k, pol)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	})}
+}
+
+// submitBaseline schedules baselineRun (Prepare + static simulation).
+func submitBaseline(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
+	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "static"), func() (any, error) {
+		st, err := baselineRun(o, cfg, w, k)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	})}
+}
+
+// submitRegMutex schedules regmutexRun (transform + simulation); the
+// future also carries the transform result.
+func submitRegMutex(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, forceEs int) rmFuture {
+	key := runKey(o, cfg, k, fmt.Sprintf("regmutex|es=%d", forceEs))
+	return rmFuture{o.Pool.SubmitKeyed(key, func() (any, error) {
+		st, res, err := regmutexRun(o, cfg, w, k, forceEs)
+		if err != nil {
+			return nil, err
+		}
+		return rmRun{Stats: st, Res: res}, nil
+	})}
+}
+
+// submitPaired schedules the paired-warps run: each task performs its own
+// RegMutex transform so tasks stay independent of one another (a pool
+// worker never blocks on a sibling future).
+func submitPaired(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
+	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "paired"), func() (any, error) {
+		res, err := core.Transform(k, core.Options{Config: cfg})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		st, err := runOne(o, cfg, w, res.Kernel, sim.NewPairedPolicy(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	})}
+}
+
+// submitOWF schedules the OWF comparison run. OWF shares registers above
+// the same |Bs| threshold RegMutex chose, making the comparison
+// apples-to-apples on the split; the task recomputes that split itself.
+func submitOWF(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
+	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "owf"), func() (any, error) {
+		res, err := core.Transform(k, core.Options{Config: cfg})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		pre, err := core.Prepare(k)
+		if err != nil {
+			return nil, err
+		}
+		st, err := runOne(o, cfg, w, pre, sim.NewOWFPolicy(cfg, res.Split.Bs))
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	})}
+}
+
+// submitRFV schedules the register-file-virtualization comparison run.
+func submitRFV(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
+	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "rfv"), func() (any, error) {
+		pre, err := core.Prepare(k)
+		if err != nil {
+			return nil, err
+		}
+		st, err := runOne(o, cfg, w, pre, sim.NewRFVPolicy(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	})}
 }
 
 // pct returns the percentage change from base to v: positive = reduction.

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"regmutex/internal/occupancy"
+	"regmutex/internal/runpool"
+	"regmutex/internal/workloads"
+)
+
+// renderSome runs a representative slice of the evaluation (simulation
+// experiments spanning every submit helper) and renders it the way
+// cmd/paperbench would.
+func renderSome(t *testing.T, o Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rows7, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig7(&buf, rows7)
+	rows9, err := Fig9a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig9(&buf, rows9, false)
+	sweep, err := EsSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig10(&buf, sweep)
+	rows13, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig13(&buf, rows13)
+	seeds, err := SeedStability(o, []uint64{7, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintSeedStability(&buf, seeds)
+	return buf.Bytes()
+}
+
+// TestParallelOutputMatchesSerial is the tentpole's determinism check:
+// the rendered evaluation must be byte-identical whether simulations run
+// serially or fan out across workers (with the memo cache deduplicating
+// repeated baselines in both cases).
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	base := tiny()
+	serial, parallel := base, base
+	serial.Pool = runpool.New(1)
+	parallel.Pool = runpool.New(8)
+	a := renderSome(t, serial)
+	b := renderSome(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Errorf("-j 1 and -j 8 output differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestConcurrentExperimentsShareOnePool drives several experiments at
+// once through a single shared pool, the way cmd/paperbench shares its
+// pool across the whole invocation. Run with -race this doubles as the
+// engine's data-race check.
+func TestConcurrentExperimentsShareOnePool(t *testing.T) {
+	o := tiny()
+	o.Pool = runpool.New(4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	wg.Add(4)
+	go func() { defer wg.Done(); _, err := Fig7(o); errs <- err }()
+	go func() { defer wg.Done(); _, err := Fig8(o); errs <- err }()
+	go func() { defer wg.Done(); _, err := Fig9a(o); errs <- err }()
+	go func() { defer wg.Done(); _, err := Energy(o); errs <- err }()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if _, misses := o.Pool.CacheStats(); misses == 0 {
+		t.Error("shared pool simulated nothing")
+	}
+}
+
+// TestCacheDeduplicatesAcrossExperiments pins the memoization payoff:
+// Fig9a's reference runs are the same simulations Fig7 already did, so a
+// shared pool must serve them from the cache.
+func TestCacheDeduplicatesAcrossExperiments(t *testing.T) {
+	o := tiny()
+	o.Pool = runpool.New(1)
+	if _, err := Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := o.Pool.CacheStats()
+	if _, err := Fig9a(o); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := o.Pool.CacheStats()
+	if hits == 0 {
+		t.Errorf("Fig9a reused nothing from Fig7 (0 hits after %d misses)", missesBefore)
+	}
+}
+
+// TestExplicitZeroSeedHonored pins the -seed 0 fix: an explicitly chosen
+// zero seed must survive normalize and produce a different run key (and
+// so a different cached simulation) than the default seed 42.
+func TestExplicitZeroSeedHonored(t *testing.T) {
+	o := Options{Scale: 16, Seed: 0, SeedSet: true}
+	if n := o.normalize(); n.Seed != 0 {
+		t.Errorf("explicit seed 0 rewritten to %d", n.Seed)
+	}
+	if n := (Options{Scale: 16}).normalize(); n.Seed != 42 {
+		t.Errorf("unset seed defaulted to %d, want 42", n.Seed)
+	}
+}
+
+// TestSeedZeroDiffersFromSeed42 demonstrates the observable half of the
+// fix: before it, -seed 0 silently reran the seed-42 simulations — same
+// inputs, same cache entries. (Cycle counts are input-stable by design,
+// so the witnesses are the generated inputs and the cache keys.)
+func TestSeedZeroDiffersFromSeed42(t *testing.T) {
+	w, err := workloads.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := w.Build(16)
+	in0, in42 := w.Input(k, 0), w.Input(k, 42)
+	if len(in0) == len(in42) {
+		same := true
+		for i := range in0 {
+			if in0[i] != in42[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seed 0 generated the same input as seed 42")
+		}
+	}
+	cfg := occupancy.GTX480()
+	o0 := Options{Scale: 16, Seed: 0, SeedSet: true}.normalize()
+	o42 := Options{Scale: 16}.normalize()
+	if runKey(o0, cfg, k, "static") == runKey(o42, cfg, k, "static") {
+		t.Error("seed 0 and seed 42 share a cache key; -seed 0 would replay seed-42 results")
+	}
+}

@@ -1,0 +1,54 @@
+package isa
+
+import "testing"
+
+func fpKernel() *Kernel {
+	b := NewBuilder("fp", 8, 2, 32)
+	b.MovSpecial(0, SpecTID)
+	b.LdGlobal(1, R(0), 0)
+	b.IAdd(2, R(1), Imm(3))
+	b.Setp(0, CmpGT, R(2), Imm(0))
+	b.StGlobal(R(0), 64, R(2))
+	b.Exit()
+	k := b.MustKernel()
+	k.GridCTAs = 4
+	k.GlobalMemWords = 128
+	return k
+}
+
+func TestFingerprintStableAcrossClones(t *testing.T) {
+	k := fpKernel()
+	if k.Fingerprint() != k.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if got := k.Clone().Fingerprint(); got != k.Fingerprint() {
+		t.Errorf("clone fingerprint %x != original %x", got, k.Fingerprint())
+	}
+}
+
+func TestFingerprintSeesEveryRunInput(t *testing.T) {
+	base := fpKernel().Fingerprint()
+	mutations := map[string]func(*Kernel){
+		"name":       func(k *Kernel) { k.Name = "fp2" },
+		"grid":       func(k *Kernel) { k.GridCTAs *= 2 },
+		"regs":       func(k *Kernel) { k.NumRegs++ },
+		"threads":    func(k *Kernel) { k.ThreadsPerCTA += WarpSize },
+		"shared":     func(k *Kernel) { k.SharedMemWords += 8 },
+		"globalmem":  func(k *Kernel) { k.GlobalMemWords *= 2 },
+		"split":      func(k *Kernel) { k.BaseSet, k.ExtSet = 6, 2 },
+		"opcode":     func(k *Kernel) { k.Instrs[2].Op = OpISub },
+		"dst":        func(k *Kernel) { k.Instrs[2].Dst = 3 },
+		"imm":        func(k *Kernel) { k.Instrs[2].Srcs[1].Imm = 4 },
+		"offset":     func(k *Kernel) { k.Instrs[4].Off = 65 },
+		"guard":      func(k *Kernel) { k.Instrs[2].Guard = Guard{Pred: 0} },
+		"reconv":     func(k *Kernel) { k.Instrs[2].Reconv = 5 },
+		"dead-after": func(k *Kernel) { k.Instrs[2].DeadAfter = []Reg{1} },
+	}
+	for name, mutate := range mutations {
+		k := fpKernel()
+		mutate(k)
+		if k.Fingerprint() == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}

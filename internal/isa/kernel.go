@@ -183,6 +183,65 @@ func (k *Kernel) MaxTouchedReg() int {
 	return max
 }
 
+// Fingerprint returns a 64-bit content hash (FNV-1a) covering everything
+// that can influence a simulation of the kernel: the code — including
+// branch targets, reconvergence points, guards, and dead-value
+// annotations — the register split, and every launch resource. Two
+// kernels with equal fingerprints simulate identically under the same
+// machine, policy, and input; the experiment harness keys its run-result
+// cache on it.
+func (k *Kernel) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime64
+		}
+	}
+	for i := 0; i < len(k.Name); i++ {
+		h ^= uint64(k.Name[i])
+		h *= prime64
+	}
+	mix(uint64(len(k.Name)))
+	for _, v := range []int{
+		k.NumRegs, k.NumPRegs, k.ThreadsPerCTA, k.SharedMemWords,
+		k.GridCTAs, k.GlobalMemWords, k.BaseSet, k.ExtSet,
+	} {
+		mix(uint64(int64(v)))
+	}
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		mix(uint64(in.Op))
+		mix(uint64(in.Guard.Pred))
+		if in.Guard.Neg {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		mix(uint64(in.Dst))
+		mix(uint64(in.PDst))
+		for _, s := range in.Srcs {
+			mix(uint64(s.Kind))
+			mix(uint64(s.Reg))
+			mix(uint64(s.Imm))
+		}
+		mix(uint64(in.Cmp))
+		mix(uint64(in.Spec))
+		mix(uint64(in.Off))
+		mix(uint64(int64(in.Target)))
+		mix(uint64(int64(in.Reconv)))
+		mix(uint64(len(in.DeadAfter)))
+		for _, r := range in.DeadAfter {
+			mix(uint64(r))
+		}
+	}
+	return h
+}
+
 // Clone returns a deep copy of the kernel; compiler passes transform the
 // copy so callers keep the original.
 func (k *Kernel) Clone() *Kernel {

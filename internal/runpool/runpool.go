@@ -1,0 +1,112 @@
+// Package runpool is the parallel experiment engine behind the
+// paperbench harness: it fans independent simulation runs out across a
+// bounded set of worker goroutines and memoizes keyed results, so sweeps
+// that revisit an identical (kernel, machine, policy, seed) point never
+// re-simulate it.
+//
+// The contract that keeps output deterministic is split between the pool
+// and its callers: tasks may finish in any order, but every submission
+// returns a Future and callers collect futures in submission order. A
+// one-worker pool runs each task inline before Submit returns, preserving
+// the exact serial execution order of the pre-pool harness (`-j 1`).
+package runpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Future is the pending (or memoized) result of one submitted task.
+type Future struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Wait blocks until the task finishes and returns its result. It may be
+// called any number of times from any goroutine; a memoized future hands
+// every waiter the same value (and the same error, if the task failed).
+func (f *Future) Wait() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Pool runs tasks on at most Workers goroutines and caches keyed results.
+// The zero value is not usable; construct with New.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+
+	mu   sync.Mutex
+	memo map[string]*Future
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New returns a pool running at most workers tasks concurrently.
+// workers <= 0 selects GOMAXPROCS. workers == 1 runs every task inline at
+// submission time — no goroutines, the serial path.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		memo:    map[string]*Future{},
+	}
+}
+
+// Workers returns the concurrency limit.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit schedules fn and returns its future. Tasks must be independent:
+// a task that waits on another future can deadlock the pool once every
+// worker is parked waiting.
+func (p *Pool) Submit(fn func() (any, error)) *Future {
+	f := &Future{done: make(chan struct{})}
+	p.start(f, fn)
+	return f
+}
+
+func (p *Pool) start(f *Future, fn func() (any, error)) {
+	if p.workers == 1 {
+		f.val, f.err = fn()
+		close(f.done)
+		return
+	}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.val, f.err = fn()
+		close(f.done)
+	}()
+}
+
+// SubmitKeyed schedules fn unless a task with the same key was already
+// submitted, in which case the earlier future is returned and fn never
+// runs (single-flight memoization). Errors are cached like values: a
+// failed configuration fails identically on every revisit, which keeps
+// sweep output independent of submission history.
+func (p *Pool) SubmitKeyed(key string, fn func() (any, error)) *Future {
+	p.mu.Lock()
+	if f, ok := p.memo[key]; ok {
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return f
+	}
+	f := &Future{done: make(chan struct{})}
+	p.memo[key] = f
+	p.mu.Unlock()
+	p.misses.Add(1)
+	p.start(f, fn)
+	return f
+}
+
+// CacheStats reports keyed submissions served from the memo table (hits)
+// versus tasks actually executed (misses).
+func (p *Pool) CacheStats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}

@@ -1,0 +1,154 @@
+package runpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubmitCollectsInOrder(t *testing.T) {
+	p := New(4)
+	var futs []*Future
+	for i := 0; i < 32; i++ {
+		i := i
+		futs = append(futs, p.Submit(func() (any, error) { return i * i, nil }))
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != i*i {
+			t.Fatalf("future %d = %v, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestWorkerLimit(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int64
+	gate := make(chan struct{})
+	var futs []*Future
+	for i := 0; i < 16; i++ {
+		futs = append(futs, p.Submit(func() (any, error) {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			<-gate
+			cur.Add(-1)
+			return nil, nil
+		}))
+	}
+	close(gate)
+	for _, f := range futs {
+		f.Wait()
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("observed %d concurrent tasks, limit %d", got, workers)
+	}
+}
+
+func TestSerialPoolRunsInline(t *testing.T) {
+	p := New(1)
+	ran := false
+	f := p.Submit(func() (any, error) { ran = true; return "x", nil })
+	// With one worker the task completes before Submit returns: no
+	// goroutine, today's serial execution order exactly.
+	if !ran {
+		t.Fatal("serial pool deferred the task")
+	}
+	if v, err := f.Wait(); err != nil || v.(string) != "x" {
+		t.Fatalf("Wait = %v, %v", v, err)
+	}
+}
+
+func TestMemoizationSingleFlight(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		p := New(workers)
+		var calls atomic.Int64
+		var futs []*Future
+		for i := 0; i < 20; i++ {
+			futs = append(futs, p.SubmitKeyed("same", func() (any, error) {
+				calls.Add(1)
+				return 7, nil
+			}))
+		}
+		for _, f := range futs {
+			v, err := f.Wait()
+			if err != nil || v.(int) != 7 {
+				t.Fatalf("workers=%d: Wait = %v, %v", workers, v, err)
+			}
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("workers=%d: fn ran %d times, want 1", workers, got)
+		}
+		hits, misses := p.CacheStats()
+		if hits != 19 || misses != 1 {
+			t.Errorf("workers=%d: cache stats %d/%d, want 19/1", workers, hits, misses)
+		}
+	}
+}
+
+func TestMemoizationCachesErrors(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	f1 := p.SubmitKeyed("k", func() (any, error) { calls.Add(1); return nil, boom })
+	f2 := p.SubmitKeyed("k", func() (any, error) { calls.Add(1); return nil, nil })
+	if _, err := f1.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("first wait err = %v", err)
+	}
+	if _, err := f2.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("cached wait err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestConcurrentKeyedSubmitters(t *testing.T) {
+	// Many goroutines race to submit overlapping keys; every waiter must
+	// observe the single computed value (exercised under -race).
+	p := New(4)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 24; i++ {
+				key := fmt.Sprintf("key-%d", i%6)
+				want := (i % 6) * 11
+				f := p.SubmitKeyed(key, func() (any, error) {
+					calls.Add(1)
+					return want, nil
+				})
+				v, err := f.Wait()
+				if err != nil || v.(int) != want {
+					t.Errorf("key %s = %v, %v (want %d)", key, v, err, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 6 {
+		t.Errorf("fn ran %d times, want 6 (one per key)", calls.Load())
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Error("New(0) must pick at least one worker")
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Errorf("Workers() = %d, want 5", got)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
@@ -141,6 +142,11 @@ func (d *Device) loadGlobal(mem []uint64, addr int64) uint64 {
 	n := int64(len(mem))
 	if addr < 0 || addr >= n {
 		d.oobAccesses++
+		if n == 0 {
+			// Empty global segment: every access is out of bounds; loads
+			// read a deterministic zero instead of dividing by zero below.
+			return 0
+		}
 		addr = ((addr % n) + n) % n
 	}
 	return mem[addr]
@@ -150,6 +156,10 @@ func (d *Device) storeGlobal(mem []uint64, addr int64, v uint64) {
 	n := int64(len(mem))
 	if addr < 0 || addr >= n {
 		d.oobAccesses++
+		if n == 0 {
+			// Empty global segment: drop the store (counted above).
+			return
+		}
 		addr = ((addr % n) + n) % n
 	}
 	mem[addr] = v
@@ -249,7 +259,10 @@ func (d *Device) Run() (Stats, error) {
 	return d.collectStats(), nil
 }
 
-// deadlockError builds a diagnostic for a wedged machine.
+// deadlockError builds a diagnostic for a wedged machine. In multi-kernel
+// mode each warp may belong to a different kernel, so the stalled
+// instruction is decoded against the warp's own kernel and the CTA target
+// is the combined grid.
 func (d *Device) deadlockError() error {
 	waiting, barrier, total := 0, 0, 0
 	detail := ""
@@ -264,19 +277,28 @@ func (d *Device) deadlockError() error {
 			} else {
 				waiting++
 				if detail == "" {
+					kern := w.CTA.kern
 					pc := w.NextPC()
 					instr := "-"
-					if pc >= 0 && pc < len(d.Kernel.Instrs) {
-						instr = d.Kernel.Instrs[pc].String()
+					if pc >= 0 && pc < len(kern.Instrs) {
+						instr = kern.Instrs[pc].String()
 					}
-					detail = fmt.Sprintf("; first stalled: SM%d warp %d at pc %d (%s), stack %d",
-						sm.id, w.Widx, pc, instr, w.StackDepth())
+					detail = fmt.Sprintf("; first stalled: SM%d warp %d (kernel %s) at pc %d (%s), stack %d",
+						sm.id, w.Widx, kern.Name, pc, instr, w.StackDepth())
 				}
 			}
 		}
 	}
+	name, target := d.Kernel.Name, d.Kernel.GridCTAs
+	if d.multi() {
+		names := make([]string, len(d.kernels))
+		for i, k := range d.kernels {
+			names[i] = k.Name
+		}
+		name, target = strings.Join(names, "+"), d.totalCTAs
+	}
 	return fmt.Errorf("sim: deadlock in kernel %s under %s: %d live warps (%d at barriers, %d stalled), %d/%d CTAs done%s",
-		d.Kernel.Name, d.Policy.Name(), total, barrier, waiting, d.doneCTAs, d.Kernel.GridCTAs, detail)
+		name, d.Policy.Name(), total, barrier, waiting, d.doneCTAs, target, detail)
 }
 
 func (d *Device) collectStats() Stats {

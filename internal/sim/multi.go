@@ -82,11 +82,13 @@ func NewMultiDevice(cfg occupancy.Config, timing Timing, kernels []*isa.Kernel, 
 func (d *Device) multi() bool { return d.kernels != nil }
 
 // multiBackfill launches at most one pending CTA (rotating over kernels)
-// onto sm; reports whether anything launched.
+// onto sm; reports whether anything launched. The rotation pointer only
+// advances past a kernel when it actually launches, so a kernel that was
+// merely skipped (drained grid, no room) does not lose its turn and
+// multiRR stays within [0, len(kernels)).
 func (d *Device) multiBackfill(sm *SM) bool {
 	for n := 0; n < len(d.kernels); n++ {
-		ki := d.multiRR % len(d.kernels)
-		d.multiRR++
+		ki := (d.multiRR + n) % len(d.kernels)
 		k := d.kernels[ki]
 		if d.multiNext[ki] >= k.GridCTAs {
 			continue
@@ -97,6 +99,7 @@ func (d *Device) multiBackfill(sm *SM) bool {
 		sm.launchCTAOf(k, ki, d.multiNext[ki])
 		d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-launch", Data: d.multiNext[ki]})
 		d.multiNext[ki]++
+		d.multiRR = (ki + 1) % len(d.kernels)
 		return true
 	}
 	return false
