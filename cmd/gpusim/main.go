@@ -16,7 +16,9 @@ import (
 	"os"
 
 	"regmutex/internal/asm"
+	"regmutex/internal/audit"
 	"regmutex/internal/core"
+	"regmutex/internal/harness"
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
 	"regmutex/internal/runpool"
@@ -33,6 +35,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "input seed")
 	trace := flag.Bool("trace", false, "print an occupancy / SRP-holders timeline")
 	jobs := flag.Int("j", 0, "policies to simulate concurrently with -policy all (0 = all cores, 1 = serial)")
+	auditOn := flag.Bool("audit", false, "attach the invariant auditor (aborts on the first broken machine invariant)")
 	flag.Parse()
 
 	machine := occupancy.GTX480()
@@ -84,6 +87,9 @@ func main() {
 		futs[i] = pool.Submit(func() (any, error) {
 			var r result
 			st, err := runPolicy(machine, k, input, name, func(d *sim.Device) {
+				if *auditOn {
+					audit.Attach(d, audit.DefaultEvery)
+				}
 				if *trace {
 					d.SampleInterval = 512
 					d.Sampler = func(sm sim.Sample) { r.samples = append(r.samples, sm) }
@@ -101,7 +107,10 @@ func main() {
 	for i, name := range names {
 		v, err := futs[i].Wait()
 		if err != nil {
-			fatal(err)
+			// A wedged or invariant-breaking policy fails its own row;
+			// the other policies still report.
+			fmt.Printf("%-10s %12s  %v\n", name, "ERR("+harness.ErrKind(err)+")", err)
+			continue
 		}
 		r := v.(result)
 		st := r.st

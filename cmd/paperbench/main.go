@@ -26,15 +26,19 @@ func main() {
 	sms := flag.Int("sms", 0, "override SM count (0 = machine default)")
 	seed := flag.Uint64("seed", 42, "input generator seed")
 	jobs := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
+	auditOn := flag.Bool("audit", false, "attach the invariant auditor to every simulation")
 	flag.Parse()
 
 	// One pool for the whole invocation: experiments share its memo
 	// cache, so e.g. fig9a reuses the baselines fig7 already simulated.
 	pool := runpool.New(*jobs)
-	o := harness.Options{Scale: 1, Seed: *seed, NumSMs: *sms, Pool: pool}
+	o := harness.Options{Scale: 1, Seed: *seed, NumSMs: *sms, Pool: pool, Audit: *auditOn}
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
+		switch f.Name {
+		case "seed":
 			o.SeedSet = true
+		case "audit":
+			o.AuditSet = true
 		}
 	})
 	if *quick {

@@ -27,7 +27,10 @@ func main() {
 		SchedulersPerSM:  1,
 	}
 
-	k := buildKernel()
+	k, err := buildKernel()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("kernel asks for %d registers; the machine has 48 per thread —\n", k.NumRegs)
 	fmt.Printf("two warps need %d, so the baseline must serialise them.\n\n", 2*k.AllocRegs())
 
@@ -89,7 +92,7 @@ func main() {
 
 // buildKernel makes the 31-register kernel of the figure: a loop whose
 // register use peaks mid-iteration and falls back between peaks.
-func buildKernel() *regmutex.Kernel {
+func buildKernel() (*regmutex.Kernel, error) {
 	b := regmutex.NewBuilder("fig2", 31, 1, 32)
 	b.MovSpecial(0, regmutex.SpecTID)
 	b.MovSpecial(1, regmutex.SpecCTAID)
@@ -116,8 +119,11 @@ func buildKernel() *regmutex.Kernel {
 	b.BraIf(0, "top")
 	b.StGlobal(regmutex.R(2), 2048, regmutex.R(3))
 	b.Exit()
-	k := b.MustKernel()
+	k, err := b.Kernel()
+	if err != nil {
+		return nil, err
+	}
 	k.GridCTAs = 2
 	k.GlobalMemWords = 4096
-	return k
+	return k, nil
 }

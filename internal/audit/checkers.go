@@ -1,0 +1,185 @@
+package audit
+
+import (
+	"fmt"
+
+	"regmutex/internal/sim"
+)
+
+// selfAuditor is the optional per-cycle self-audit surface a policy state
+// may implement (regmutexState, pairedState, owfState, rfvState do).
+type selfAuditor interface{ AuditCycle() error }
+
+// selfEndAuditor is the optional end-of-kernel obligation (leak checks).
+type selfEndAuditor interface{ AuditEnd() error }
+
+// PolicyChecker delegates to the policy state's own conservation checks:
+// SRP section accounting for RegMutex, physical-row accounting for RFV,
+// pair-lock sanity for the paired/OWF schemes.
+type PolicyChecker struct{}
+
+// Name implements Checker.
+func (PolicyChecker) Name() string { return "policy-conservation" }
+
+// Check implements Checker.
+func (PolicyChecker) Check(d *sim.Device, now int64) *Violation {
+	for _, sm := range d.SMs() {
+		if sa, ok := sm.State().(selfAuditor); ok {
+			if err := sa.AuditCycle(); err != nil {
+				return &Violation{
+					Rule: "policy-conservation", SM: sm.ID(), Warp: -1, PC: -1,
+					Cycle: now, Detail: err.Error(),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckEnd implements endChecker: no sections/rows may leak past the last
+// CTA.
+func (PolicyChecker) CheckEnd(d *sim.Device) *Violation {
+	for _, sm := range d.SMs() {
+		if sa, ok := sm.State().(selfEndAuditor); ok {
+			if err := sa.AuditEnd(); err != nil {
+				return &Violation{
+					Rule: "policy-leak", SM: sm.ID(), Warp: -1, PC: -1,
+					Cycle: d.Now(), Detail: err.Error(),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BarrierChecker validates CTA barrier accounting: the arrival count must
+// equal the number of warps parked at the barrier and can never exceed the
+// CTA's live warp count (arrivals reset the instant the last live warp
+// shows up, so a persisting full count means a stranded barrier).
+type BarrierChecker struct{}
+
+// Name implements Checker.
+func (BarrierChecker) Name() string { return "barrier-accounting" }
+
+// Check implements Checker.
+func (BarrierChecker) Check(d *sim.Device, now int64) *Violation {
+	for _, sm := range d.SMs() {
+		for _, cta := range sm.ResidentCTAs() {
+			parked := 0
+			for _, w := range cta.Warps() {
+				if w.AtBarrier() {
+					parked++
+				}
+			}
+			bw := cta.BarWaiting()
+			if bw != parked {
+				return &Violation{
+					Rule: "barrier-accounting", SM: sm.ID(), Warp: -1, PC: -1, Cycle: now,
+					Detail: fmt.Sprintf("CTA %d counts %d barrier arrivals but %d warps are parked", cta.ID, bw, parked),
+				}
+			}
+			if live := cta.LiveWarps(); bw < 0 || bw > live {
+				return &Violation{
+					Rule: "barrier-accounting", SM: sm.ID(), Warp: -1, PC: -1, Cycle: now,
+					Detail: fmt.Sprintf("CTA %d barrier arrivals %d outside [0, %d live warps]", cta.ID, bw, live),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StackChecker bounds SIMT reconvergence stack depth: a divergent branch
+// pushes two frames and every frame's PC advances monotonically, so depth
+// can never exceed the kernel's instruction count plus the bottom frame
+// and one in-flight push. Deeper stacks mean a reconvergence bug leaking
+// frames.
+type StackChecker struct{}
+
+// Name implements Checker.
+func (StackChecker) Name() string { return "stack-depth" }
+
+// Check implements Checker.
+func (StackChecker) Check(d *sim.Device, now int64) *Violation {
+	for _, sm := range d.SMs() {
+		for _, w := range sm.Warps() {
+			if w.Finished() {
+				continue
+			}
+			bound := len(w.CTA.Kernel().Instrs) + 2
+			if depth := w.StackDepth(); depth > bound {
+				return &Violation{
+					Rule: "stack-depth", SM: sm.ID(), Warp: w.Widx, PC: -1, Cycle: now,
+					Detail: fmt.Sprintf("SIMT stack depth %d exceeds bound %d (kernel %s)", depth, bound, w.CTA.Kernel().Name),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ScoreboardChecker bounds pending writebacks: no register or predicate
+// write may be scheduled to land later than now plus the slowest opcode
+// latency. A writeback beyond that horizon is a lost or corrupted memory
+// response — the warp would wait on it forever.
+type ScoreboardChecker struct{}
+
+// Name implements Checker.
+func (ScoreboardChecker) Name() string { return "scoreboard-horizon" }
+
+// Check implements Checker.
+func (ScoreboardChecker) Check(d *sim.Device, now int64) *Violation {
+	horizon := now + d.Timing.MaxLatency()
+	for _, sm := range d.SMs() {
+		for _, w := range sm.Warps() {
+			if w.Finished() {
+				continue
+			}
+			if t := w.MaxPendingWriteback(); t > horizon {
+				return &Violation{
+					Rule: "scoreboard-horizon", SM: sm.ID(), Warp: w.Widx, PC: -1, Cycle: now,
+					Detail: fmt.Sprintf("pending writeback at cycle %d is %d cycles past the max-latency horizon", t, t-horizon),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SlotChecker validates warp-slot accounting: the occupied slot count must
+// equal the resident warp count (slots free only when their CTA retires),
+// and every resident warp must sit in a distinct, in-range, taken slot.
+type SlotChecker struct{}
+
+// Name implements Checker.
+func (SlotChecker) Name() string { return "slot-accounting" }
+
+// Check implements Checker.
+func (SlotChecker) Check(d *sim.Device, now int64) *Violation {
+	for _, sm := range d.SMs() {
+		warps := sm.Warps()
+		if used := sm.UsedSlots(); used != len(warps) {
+			return &Violation{
+				Rule: "slot-accounting", SM: sm.ID(), Warp: -1, PC: -1, Cycle: now,
+				Detail: fmt.Sprintf("%d slots taken but %d warps resident", used, len(warps)),
+			}
+		}
+		seen := make(map[int]bool, len(warps))
+		for _, w := range warps {
+			switch {
+			case !sm.SlotTaken(w.Widx):
+				return &Violation{
+					Rule: "slot-accounting", SM: sm.ID(), Warp: w.Widx, PC: -1, Cycle: now,
+					Detail: "resident warp's slot is not marked taken (or out of range)",
+				}
+			case seen[w.Widx]:
+				return &Violation{
+					Rule: "slot-accounting", SM: sm.ID(), Warp: w.Widx, PC: -1, Cycle: now,
+					Detail: "two resident warps share one slot",
+				}
+			}
+			seen[w.Widx] = true
+		}
+	}
+	return nil
+}

@@ -150,6 +150,16 @@ func (s *SRP) CheckConservation() error {
 	return nil
 }
 
+// FlipSection toggles section i's SRP-bitmask bit without touching the
+// warp-status bits or LUT. FAULT INJECTION ONLY (internal/faults): it
+// models a soft error in the SRP bitmask, which CheckConservation must
+// catch as either a busy-but-unowned or held-but-clear section.
+func (s *SRP) FlipSection(i int) {
+	if i >= 0 && i < s.sections {
+		s.srpMask[i] = !s.srpMask[i]
+	}
+}
+
 // StorageBits returns the storage the RegMutex structures add to the SM,
 // in bits: Nw (warp status) + Nw (SRP bitmask) + Nw·⌈log2 Nw⌉ (LUT). At
 // Nw = 48 this is 48 + 48 + 288 = 384 bits, the paper's section III-B1

@@ -1,0 +1,286 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regmutex/internal/isa"
+)
+
+// This file builds random kernels for differential fuzzing. Generation is
+// pure in the seed, and the program shape guarantees two properties every
+// differential run depends on:
+//
+//   - Termination: the only backward branches are loops over a uniform
+//     counter with an immediate trip count, so every warp retires.
+//   - Schedule independence: control flow depends only on thread/CTA
+//     indices and immediates — never on loaded data — and every store
+//     targets the thread's private scratch slots. Final global memory and
+//     retired-instruction counts are therefore a function of the kernel
+//     and input alone, identical under every policy and scheduling order.
+//
+// Divergence still happens (tid-guarded instructions and forward
+// branches), barriers appear only in top-level straight-line code, and
+// register pressure spans the range where the RegMutex heuristic both
+// fires and declines.
+//
+// Liveness discipline: the static checker treats guarded defs and
+// divergent-arm defs as conditional (they kill nothing), so the generator
+// only guards writes to registers already defined on every path, and
+// registers first defined inside a diamond arm are dropped from the
+// defined set at the join.
+const (
+	genInputWords   = 256 // read-only input region
+	genScratchSlots = 8   // private scratch words per thread
+)
+
+// GenKernel generates the seed's kernel.
+func GenKernel(seed uint64) *isa.Kernel {
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	numRegs := 8 + rng.Intn(25) // 8..32
+	numPRegs := 2 + rng.Intn(3) // 2..4
+	threads := []int{32, 64, 128}[rng.Intn(3)]
+	ctas := 1 + rng.Intn(4)
+
+	b := isa.NewBuilder(fmt.Sprintf("fuzz%d", seed), numRegs, numPRegs, threads)
+	b.SetGrid(ctas)
+	b.SetGlobalMem(genInputWords + ctas*threads*genScratchSlots)
+
+	g := &gen{b: b, rng: rng, numRegs: numRegs, numPRegs: numPRegs, threads: threads}
+	g.prologue()
+	segments := 2 + rng.Intn(3)
+	for i := 0; i < segments; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			g.loop(i)
+		case 1:
+			g.diamond(i)
+		default:
+			g.block(2 + rng.Intn(6))
+		}
+		if rng.Intn(3) == 0 {
+			b.Bar() // top-level only: every thread reaches it
+		}
+	}
+	g.epilogue()
+	b.Exit()
+	return b.MustKernel()
+}
+
+// gen tracks which registers hold defined values so the program never
+// reads before writing (core.Prepare rejects such kernels).
+type gen struct {
+	b        *isa.Builder
+	rng      *rand.Rand
+	numRegs  int
+	numPRegs int
+	threads  int
+
+	initRegs  []isa.Reg // registers defined on every path so far
+	initPreds []isa.PReg
+	reserved  map[isa.Reg]bool // loop counters: not writable inside the loop
+}
+
+// Fixed roles: r0 = tid, r1 = ctaid, r2 = gid.
+func (g *gen) prologue() {
+	g.b.MovSpecial(0, isa.SpecTID)
+	g.b.MovSpecial(1, isa.SpecCTAID)
+	g.b.IMad(2, isa.R(1), isa.Imm(int64(g.threads)), isa.R(0))
+	g.initRegs = []isa.Reg{0, 1, 2}
+	g.reserved = map[isa.Reg]bool{0: true, 1: true, 2: true}
+	// Seed a few pool registers so early ops have operands to read.
+	for i := 0; i < 3; i++ {
+		d := g.anyPoolReg()
+		g.b.Mov(d, isa.Imm(int64(g.rng.Intn(1024))))
+		g.markInit(d)
+	}
+	// Define every predicate once so guards are always legal.
+	for p := 0; p < g.numPRegs; p++ {
+		g.b.Setp(isa.PReg(p), isa.CmpEQ,
+			g.someOperand(), isa.Imm(int64(g.rng.Intn(8))))
+		g.initPreds = append(g.initPreds, isa.PReg(p))
+	}
+}
+
+// epilogue stores a digest of the defined registers so every generated
+// value can influence the final memory the differential check compares.
+func (g *gen) epilogue() {
+	acc := g.anyPoolReg()
+	g.b.Mov(acc, isa.Imm(0))
+	for _, r := range g.initRegs {
+		if r != acc {
+			g.b.Xor(acc, isa.R(acc), isa.R(r))
+		}
+	}
+	g.storeScratch(acc, genScratchSlots-1)
+}
+
+func (g *gen) markInit(r isa.Reg) {
+	for _, x := range g.initRegs {
+		if x == r {
+			return
+		}
+	}
+	g.initRegs = append(g.initRegs, r)
+}
+
+// anyPoolReg picks any non-reserved register (defined or not) to write.
+func (g *gen) anyPoolReg() isa.Reg {
+	for {
+		r := isa.Reg(3 + g.rng.Intn(g.numRegs-3))
+		if !g.reserved[r] {
+			return r
+		}
+	}
+}
+
+// definedPoolReg picks a defined, non-reserved register — the only safe
+// destination for a guarded write. Returns false when none exists yet.
+func (g *gen) definedPoolReg() (isa.Reg, bool) {
+	var pool []isa.Reg
+	for _, r := range g.initRegs {
+		if !g.reserved[r] {
+			pool = append(pool, r)
+		}
+	}
+	if len(pool) == 0 {
+		return 0, false
+	}
+	return pool[g.rng.Intn(len(pool))], true
+}
+
+// someReg picks a defined register to read.
+func (g *gen) someReg() isa.Reg {
+	return g.initRegs[g.rng.Intn(len(g.initRegs))]
+}
+
+// someOperand is a defined register or a small immediate.
+func (g *gen) someOperand() isa.Operand {
+	if g.rng.Intn(4) == 0 {
+		return isa.Imm(int64(g.rng.Intn(256)))
+	}
+	return isa.R(g.someReg())
+}
+
+// storeScratch writes r into the thread's private scratch slot.
+func (g *gen) storeScratch(r isa.Reg, slot int) {
+	addr := g.anyPoolReg()
+	// addr = gid * slots; the input region plus slot ride in the offset.
+	g.b.IMad(addr, isa.R(2), isa.Imm(genScratchSlots), isa.Imm(0))
+	g.markInit(addr)
+	g.b.StGlobal(isa.R(addr), int64(genInputWords+slot), isa.R(r))
+}
+
+// alu emits one random arithmetic/logic op writing d.
+func (g *gen) alu(d isa.Reg) {
+	switch g.rng.Intn(8) {
+	case 0:
+		g.b.IAdd(d, isa.R(g.someReg()), g.someOperand())
+	case 1:
+		g.b.ISub(d, isa.R(g.someReg()), g.someOperand())
+	case 2:
+		g.b.IMul(d, isa.R(g.someReg()), g.someOperand())
+	case 3:
+		g.b.And(d, isa.R(g.someReg()), g.someOperand())
+	case 4:
+		g.b.Or(d, isa.R(g.someReg()), g.someOperand())
+	case 5:
+		g.b.Xor(d, isa.R(g.someReg()), g.someOperand())
+	case 6:
+		g.b.Shl(d, isa.R(g.someReg()), isa.Imm(int64(g.rng.Intn(8))))
+	default:
+		g.b.IMad(d, isa.R(g.someReg()), g.someOperand(), g.someOperand())
+	}
+}
+
+// block emits n random straight-line instructions.
+func (g *gen) block(n int) {
+	for i := 0; i < n; i++ {
+		// Occasionally guard an op; the dst must already be defined on
+		// every path (a guarded def is conditional and kills nothing).
+		if g.rng.Intn(5) == 0 {
+			if d, ok := g.definedPoolReg(); ok {
+				p := g.initPreds[g.rng.Intn(len(g.initPreds))]
+				if g.rng.Intn(2) == 0 {
+					g.b.If(p)
+				} else {
+					g.b.IfNot(p)
+				}
+				g.alu(d)
+				continue
+			}
+		}
+		switch g.rng.Intn(6) {
+		case 0: // load from the read-only input region
+			addr := g.anyPoolReg()
+			g.b.And(addr, isa.R(g.someReg()), isa.Imm(genInputWords-1))
+			g.markInit(addr)
+			d := g.anyPoolReg()
+			g.b.LdGlobal(d, isa.R(addr), 0)
+			g.markInit(d)
+		case 1: // store to private scratch
+			g.storeScratch(g.someReg(), g.rng.Intn(genScratchSlots))
+		default:
+			d := g.anyPoolReg()
+			g.alu(d)
+			g.markInit(d)
+		}
+	}
+}
+
+// loop emits a uniform counted loop: the counter starts at zero in every
+// lane and the bound is an immediate, so all lanes agree on the trip count
+// and the backward branch never diverges. Body defs dominate the exit
+// (the body is entered by fallthrough), so they stay in the defined set.
+func (g *gen) loop(id int) {
+	ctr := g.anyPoolReg()
+	g.reserved[ctr] = true
+	g.markInit(ctr)
+	p := g.initPreds[g.rng.Intn(len(g.initPreds))]
+	trips := 2 + g.rng.Intn(7)
+	top := fmt.Sprintf("L%d_top", id)
+
+	g.b.Mov(ctr, isa.Imm(0))
+	g.b.Label(top)
+	g.block(1 + g.rng.Intn(4))
+	g.b.IAdd(ctr, isa.R(ctr), isa.Imm(1))
+	g.b.Setp(p, isa.CmpLT, isa.R(ctr), isa.Imm(int64(trips)))
+	g.b.BraIf(p, top)
+	delete(g.reserved, ctr)
+}
+
+// diamond emits a tid-dependent forward branch: some lanes run the body,
+// the rest jump past it, and both reconverge at the join label. Registers
+// first defined inside the arm are dropped from the defined set at the
+// join — the skip path never wrote them.
+func (g *gen) diamond(id int) {
+	t := g.anyPoolReg()
+	p := g.initPreds[g.rng.Intn(len(g.initPreds))]
+	join := fmt.Sprintf("D%d_join", id)
+
+	g.b.And(t, isa.R(0), isa.Imm(int64(1+g.rng.Intn(3))))
+	g.markInit(t)
+	g.b.Setp(p, isa.CmpEQ, isa.R(t), isa.Imm(0))
+	g.b.BraIf(p, join)
+	preArm := len(g.initRegs)
+	g.block(1 + g.rng.Intn(4))
+	g.initRegs = g.initRegs[:preArm]
+	g.b.Label(join)
+	g.b.Nop() // carries the join label
+}
+
+// GenInput fills the kernel's read-only input region deterministically;
+// the scratch region starts zeroed.
+func GenInput(k *isa.Kernel, seed uint64) []uint64 {
+	mem := make([]uint64, k.GlobalMemWords)
+	x := seed*2654435761 + 1
+	for i := 0; i < genInputWords && i < len(mem); i++ {
+		// xorshift64
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		mem[i] = x
+	}
+	return mem
+}

@@ -21,6 +21,10 @@ type AppResult struct {
 	OccAfter       float64 // theoretical occupancy, with RegMutex
 	AcquireRate    float64 // successful acquires / attempts
 	Split          core.Split
+	// Err is set when any run of this row failed (deadlock, livelock,
+	// audit violation); the other rows of the sweep are unaffected and
+	// the printers render this one as ERR(<kind>).
+	Err error
 }
 
 // Table1Row is one row of Table I.
@@ -115,11 +119,13 @@ func Fig7(o Options) ([]AppResult, error) {
 	for _, p := range pend {
 		base, err := p.base.Wait()
 		if err != nil {
-			return nil, err
+			out = append(out, AppResult{Name: p.w.Name, Err: err})
+			continue
 		}
 		st, res, err := p.rm.Wait()
 		if err != nil {
-			return nil, err
+			out = append(out, AppResult{Name: p.w.Name, Err: err})
+			continue
 		}
 		out = append(out, AppResult{
 			Name:           p.w.Name,
@@ -142,6 +148,10 @@ func PrintFig7(wr io.Writer, rows []AppResult) {
 		"application", "base cycles", "RM cycles", "red.%", "occ init", "occ RM", "acq ok%")
 	var reds []float64
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(wr, "%-16s %12s\n", r.Name, "ERR("+ErrKind(r.Err)+")")
+			continue
+		}
 		fmt.Fprintf(wr, "%-16s %12d %12d %8.1f%% %8.0f%% %8.0f%% %7.1f%%\n",
 			r.Name, r.BaselineCycles, r.Cycles, r.ReductionPct,
 			100*r.OccBefore, 100*r.OccAfter, 100*r.AcquireRate)
@@ -162,6 +172,8 @@ type Fig8Result struct {
 	OccHalfRM      float64
 	AcquireRate    float64
 	Split          core.Split
+	// Err marks a failed row; see AppResult.Err.
+	Err error
 }
 
 // Fig8 is the register file size reduction analysis (section IV-B): the
@@ -191,15 +203,18 @@ func Fig8(o Options) ([]Fig8Result, error) {
 	for _, p := range pend {
 		fullSt, err := p.fullF.Wait()
 		if err != nil {
-			return nil, err
+			out = append(out, Fig8Result{Name: p.w.Name, Err: err})
+			continue
 		}
 		halfSt, err := p.halfF.Wait()
 		if err != nil {
-			return nil, err
+			out = append(out, Fig8Result{Name: p.w.Name, Err: err})
+			continue
 		}
 		rmSt, res, err := p.rm.Wait()
 		if err != nil {
-			return nil, err
+			out = append(out, Fig8Result{Name: p.w.Name, Err: err})
+			continue
 		}
 		out = append(out, Fig8Result{
 			Name:           p.w.Name,
@@ -224,6 +239,10 @@ func PrintFig8(wr io.Writer, rows []Fig8Result) {
 		"application", "full cycles", "half noRM", "half RM", "inc noRM", "inc RM", "occ noRM", "occ RM")
 	var incNo, incRM []float64
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(wr, "%-16s %12s\n", r.Name, "ERR("+ErrKind(r.Err)+")")
+			continue
+		}
 		fmt.Fprintf(wr, "%-16s %12d %11d %11d %8.1f%% %8.1f%% %8.0f%% %8.0f%%\n",
 			r.Name, r.FullRFCycles, r.HalfNoRMCycles, r.HalfRMCycles,
 			r.IncreaseNoRM, r.IncreaseRM, 100*r.OccHalfNoRM, 100*r.OccHalfRM)
@@ -241,6 +260,20 @@ type CmpResult struct {
 	RFV      int64
 	RegMutex int64
 	NoTech   int64 // only meaningful on the half-RF study
+	// Err is set when the reference baseline itself failed — there is
+	// nothing to compare against, so the whole row renders as ERR.
+	Err error
+	// TechErr records per-technique failures by column ("none", "owf",
+	// "rfv", "regmutex"); the row's other columns still render, so one
+	// wedged technique doesn't take down the sweep.
+	TechErr map[string]error
+}
+
+func (r *CmpResult) setTechErr(col string, err error) {
+	if r.TechErr == nil {
+		r.TechErr = map[string]error{}
+	}
+	r.TechErr[col] = err
 }
 
 // Fig9a compares OWF, RFV, and RegMutex on the baseline architecture over
@@ -287,36 +320,51 @@ func compareTechniques(o Options, refCfg, runCfg occupancy.Config, set []*worklo
 	}
 	var out []CmpResult
 	for _, p := range pend {
+		r := CmpResult{Name: p.w.Name}
 		ref, err := p.ref.Wait()
 		if err != nil {
-			return nil, err
+			r.Err = err
+			out = append(out, r)
+			continue
 		}
-		r := CmpResult{Name: p.w.Name, Baseline: ref.Cycles}
+		r.Baseline = ref.Cycles
 		if p.hasNoTech {
-			noSt, err := p.noTech.Wait()
-			if err != nil {
-				return nil, err
+			if noSt, err := p.noTech.Wait(); err != nil {
+				r.setTechErr("none", err)
+			} else {
+				r.NoTech = noSt.Cycles
 			}
-			r.NoTech = noSt.Cycles
 		}
-		rmSt, _, err := p.rm.Wait()
-		if err != nil {
-			return nil, err
+		if rmSt, _, err := p.rm.Wait(); err != nil {
+			r.setTechErr("regmutex", err)
+		} else {
+			r.RegMutex = rmSt.Cycles
 		}
-		r.RegMutex = rmSt.Cycles
-		owfSt, err := p.owf.Wait()
-		if err != nil {
-			return nil, err
+		if owfSt, err := p.owf.Wait(); err != nil {
+			r.setTechErr("owf", err)
+		} else {
+			r.OWF = owfSt.Cycles
 		}
-		r.OWF = owfSt.Cycles
-		rfvSt, err := p.rfv.Wait()
-		if err != nil {
-			return nil, err
+		if rfvSt, err := p.rfv.Wait(); err != nil {
+			r.setTechErr("rfv", err)
+		} else {
+			r.RFV = rfvSt.Cycles
 		}
-		r.RFV = rfvSt.Cycles
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// pctCell renders one technique cell: the percentage when the run
+// succeeded (also accumulated into acc for the average line), or
+// ERR(<kind>) when it failed.
+func pctCell(base, v int64, err error, f func(int64, int64) float64, acc *[]float64) string {
+	if err != nil {
+		return "ERR(" + ErrKind(err) + ")"
+	}
+	x := f(base, v)
+	*acc = append(*acc, x)
+	return fmt.Sprintf("%.1f%%", x)
 }
 
 // PrintFig9 renders either comparison figure.
@@ -326,13 +374,15 @@ func PrintFig9(wr io.Writer, rows []CmpResult, half bool) {
 		fmt.Fprintf(wr, "%-16s %10s %9s %9s %9s %9s\n", "application", "base", "none", "OWF", "RFV", "RegMutex")
 		var n, ow, rf, rm []float64
 		for _, r := range rows {
-			fmt.Fprintf(wr, "%-16s %10d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", r.Name, r.Baseline,
-				increasePct(r.Baseline, r.NoTech), increasePct(r.Baseline, r.OWF),
-				increasePct(r.Baseline, r.RFV), increasePct(r.Baseline, r.RegMutex))
-			n = append(n, increasePct(r.Baseline, r.NoTech))
-			ow = append(ow, increasePct(r.Baseline, r.OWF))
-			rf = append(rf, increasePct(r.Baseline, r.RFV))
-			rm = append(rm, increasePct(r.Baseline, r.RegMutex))
+			if r.Err != nil {
+				fmt.Fprintf(wr, "%-16s %10s\n", r.Name, "ERR("+ErrKind(r.Err)+")")
+				continue
+			}
+			fmt.Fprintf(wr, "%-16s %10d %9s %9s %9s %9s\n", r.Name, r.Baseline,
+				pctCell(r.Baseline, r.NoTech, r.TechErr["none"], increasePct, &n),
+				pctCell(r.Baseline, r.OWF, r.TechErr["owf"], increasePct, &ow),
+				pctCell(r.Baseline, r.RFV, r.TechErr["rfv"], increasePct, &rf),
+				pctCell(r.Baseline, r.RegMutex, r.TechErr["regmutex"], increasePct, &rm))
 		}
 		fmt.Fprintf(wr, "%-16s %10s %8.1f%% %8.1f%% %8.1f%% %8.1f%%  (paper: 22.9/20.6/5.9/10.8)\n",
 			"average", "", mean(n), mean(ow), mean(rf), mean(rm))
@@ -342,12 +392,14 @@ func PrintFig9(wr io.Writer, rows []CmpResult, half bool) {
 	fmt.Fprintf(wr, "%-16s %10s %9s %9s %9s\n", "application", "base", "OWF", "RFV", "RegMutex")
 	var ow, rf, rm []float64
 	for _, r := range rows {
-		fmt.Fprintf(wr, "%-16s %10d %8.1f%% %8.1f%% %8.1f%%\n", r.Name, r.Baseline,
-			reductionPct(r.Baseline, r.OWF), reductionPct(r.Baseline, r.RFV),
-			reductionPct(r.Baseline, r.RegMutex))
-		ow = append(ow, reductionPct(r.Baseline, r.OWF))
-		rf = append(rf, reductionPct(r.Baseline, r.RFV))
-		rm = append(rm, reductionPct(r.Baseline, r.RegMutex))
+		if r.Err != nil {
+			fmt.Fprintf(wr, "%-16s %10s\n", r.Name, "ERR("+ErrKind(r.Err)+")")
+			continue
+		}
+		fmt.Fprintf(wr, "%-16s %10d %9s %9s %9s\n", r.Name, r.Baseline,
+			pctCell(r.Baseline, r.OWF, r.TechErr["owf"], reductionPct, &ow),
+			pctCell(r.Baseline, r.RFV, r.TechErr["rfv"], reductionPct, &rf),
+			pctCell(r.Baseline, r.RegMutex, r.TechErr["regmutex"], reductionPct, &rm))
 	}
 	fmt.Fprintf(wr, "%-16s %10s %8.1f%% %8.1f%% %8.1f%%  (paper: 1.9/16.2/12.8)\n",
 		"average", "", mean(ow), mean(rf), mean(rm))

@@ -5,9 +5,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"testing"
 
+	"regmutex/internal/audit"
 	"regmutex/internal/core"
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
@@ -41,6 +44,11 @@ type Options struct {
 	// each other's baselines; normalize creates a private pool when the
 	// caller leaves it nil.
 	Pool *runpool.Pool
+	// Audit attaches the invariant auditor (internal/audit) to every
+	// simulation. Defaults to on under `go test` and off otherwise;
+	// AuditSet marks an explicit choice (the -audit flag sets it).
+	Audit    bool
+	AuditSet bool
 }
 
 func (o Options) normalize() Options {
@@ -55,6 +63,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Pool == nil {
 		o.Pool = runpool.New(o.Jobs)
+	}
+	if !o.AuditSet {
+		o.Audit = testing.Testing()
 	}
 	return o
 }
@@ -73,11 +84,31 @@ func runOne(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kerne
 	if err != nil {
 		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, pol.Name(), err)
 	}
+	if o.Audit {
+		audit.Attach(d, audit.DefaultEvery)
+	}
 	st, err := d.Run()
 	if err != nil {
 		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, pol.Name(), err)
 	}
 	return st, nil
+}
+
+// ErrKind classifies a failed row for rendering (`ERR(<kind>)`): the
+// simulator's typed failure classes, or "error" for anything else.
+func ErrKind(err error) string {
+	switch {
+	case errors.Is(err, sim.ErrInvariant):
+		return "invariant"
+	case errors.Is(err, sim.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, sim.ErrLivelock):
+		return "livelock"
+	case errors.Is(err, sim.ErrNoWarpSlot):
+		return "no-warp-slot"
+	default:
+		return "error"
+	}
 }
 
 // baselineRun prepares and runs the untouched kernel under static
@@ -111,7 +142,7 @@ func regmutexRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.
 // parameters encoded by the caller), the input seed, and the timing
 // model. Scale is covered by the fingerprint (it reshapes the grid).
 func runKey(o Options, cfg occupancy.Config, k *isa.Kernel, pol string) string {
-	return fmt.Sprintf("%s|%016x|%+v|seed=%d|%+v", pol, k.Fingerprint(), cfg, o.Seed, o.Timing)
+	return fmt.Sprintf("%s|%016x|%+v|seed=%d|%+v|audit=%v", pol, k.Fingerprint(), cfg, o.Seed, o.Timing, o.Audit)
 }
 
 // statsFuture is a pending simulation's Stats.

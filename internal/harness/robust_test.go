@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"regmutex/internal/isa"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// spinWorkload never terminates: a counter loop far beyond any cycle
+// budget wedges every policy, so its rows must fail typed without taking
+// the rest of the sweep down.
+func spinWorkload() *workloads.Workload {
+	return &workloads.Workload{
+		Name: "spin",
+		Build: func(scale int) *isa.Kernel {
+			b := isa.NewBuilder("spin", 8, 2, 32)
+			b.SetGrid(1)
+			b.SetGlobalMem(64)
+			b.MovSpecial(0, isa.SpecTID)
+			b.Mov(1, isa.Imm(0))
+			b.Label("top")
+			b.IAdd(1, isa.R(1), isa.Imm(1))
+			b.Setp(isa.PReg(0), isa.CmpLT, isa.R(1), isa.Imm(1<<40))
+			b.BraIf(isa.PReg(0), "top")
+			b.StGlobal(isa.R(0), 0, isa.R(1))
+			b.Exit()
+			return b.MustKernel()
+		},
+		Input: func(k *isa.Kernel, seed uint64) []uint64 {
+			return make([]uint64, k.GlobalMemWords)
+		},
+	}
+}
+
+// quickWorkload finishes in a few hundred cycles under every policy.
+func quickWorkload() *workloads.Workload {
+	return &workloads.Workload{
+		Name: "quick",
+		Build: func(scale int) *isa.Kernel {
+			b := isa.NewBuilder("quick", 8, 2, 32)
+			b.SetGrid(1)
+			b.SetGlobalMem(64)
+			b.MovSpecial(0, isa.SpecTID)
+			b.IAdd(1, isa.R(0), isa.Imm(1))
+			b.StGlobal(isa.R(0), 0, isa.R(1))
+			b.Exit()
+			return b.MustKernel()
+		},
+		Input: func(k *isa.Kernel, seed uint64) []uint64 {
+			return make([]uint64, k.GlobalMemWords)
+		},
+	}
+}
+
+// TestSweepSurvivesWedgedKernel is the acceptance check for row-level
+// error tolerance: a sweep containing a kernel that wedges still renders
+// every other row, and the wedged row carries a typed, classified error.
+func TestSweepSurvivesWedgedKernel(t *testing.T) {
+	timing := sim.DefaultTiming()
+	timing.MaxCycles = 50_000
+	o := Options{Scale: 1, Seed: 7, NumSMs: 2, Jobs: 2, Timing: timing}.normalize()
+	cfg := o.machine(occupancy.GTX480())
+
+	rows, err := compareTechniques(o, cfg, cfg, []*workloads.Workload{quickWorkload(), spinWorkload()})
+	if err != nil {
+		t.Fatalf("sweep aborted instead of isolating the bad row: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byName := map[string]CmpResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+
+	good, ok := byName["quick"]
+	if !ok {
+		t.Fatal("healthy row missing from sweep")
+	}
+	if good.Err != nil || len(good.TechErr) != 0 {
+		t.Fatalf("healthy row errored: row=%v tech=%v", good.Err, good.TechErr)
+	}
+	if good.Baseline <= 0 || good.RegMutex <= 0 || good.OWF <= 0 || good.RFV <= 0 {
+		t.Fatalf("healthy row missing cycles: %+v", good)
+	}
+
+	bad, ok := byName["spin"]
+	if !ok {
+		t.Fatal("wedged row missing from sweep")
+	}
+	if bad.Err == nil {
+		t.Fatalf("wedged row carries no error: %+v", bad)
+	}
+	if kind := ErrKind(bad.Err); kind != "livelock" && kind != "deadlock" {
+		t.Fatalf("wedged row kind = %q (%v), want a wedge class", kind, bad.Err)
+	}
+
+	var buf bytes.Buffer
+	PrintFig9(&buf, rows, false)
+	out := buf.String()
+	if !strings.Contains(out, "ERR(") {
+		t.Fatalf("printout lacks ERR cell:\n%s", out)
+	}
+	if !strings.Contains(out, "quick") {
+		t.Fatalf("printout lost the healthy row:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("averages corrupted by the failed row:\n%s", out)
+	}
+}
+
+// TestFig7RendersErrRow checks the two-policy printers handle a failed
+// row without disturbing formatting.
+func TestFig7RendersErrRow(t *testing.T) {
+	rows := []AppResult{
+		{Name: "good", BaselineCycles: 1000, Cycles: 900, ReductionPct: 10},
+		{Name: "bad", Err: sim.ErrDeadlock},
+	}
+	var buf bytes.Buffer
+	PrintFig7(&buf, rows)
+	if !strings.Contains(buf.String(), "ERR(deadlock)") {
+		t.Fatalf("missing ERR cell:\n%s", buf.String())
+	}
+
+	f8 := []Fig8Result{
+		{Name: "good", FullRFCycles: 1000, HalfNoRMCycles: 1200, HalfRMCycles: 1100},
+		{Name: "bad", Err: sim.ErrLivelock},
+	}
+	buf.Reset()
+	PrintFig8(&buf, f8)
+	if !strings.Contains(buf.String(), "ERR(livelock)") {
+		t.Fatalf("missing ERR cell:\n%s", buf.String())
+	}
+}

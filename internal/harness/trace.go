@@ -293,7 +293,10 @@ func Fig2() (*Fig2Timeline, error) {
 		SharedWordsPerSM: 1024,
 		SchedulersPerSM:  1,
 	}
-	k := fig2Kernel()
+	k, err := fig2Kernel()
+	if err != nil {
+		return nil, err
+	}
 
 	pre, err := core.Prepare(k)
 	if err != nil {
@@ -333,7 +336,7 @@ func Fig2() (*Fig2Timeline, error) {
 
 // fig2Kernel is a 31-register kernel with a mid-kernel peak, one CTA of
 // one warp, launched twice (warps A and B of the figure).
-func fig2Kernel() *isa.Kernel {
+func fig2Kernel() (*isa.Kernel, error) {
 	b := isa.NewBuilder("fig2", 31, 1, 32)
 	b.MovSpecial(0, isa.SpecTID)
 	b.MovSpecial(1, isa.SpecCTAID)
@@ -361,10 +364,13 @@ func fig2Kernel() *isa.Kernel {
 	b.BraIf(0, "top")
 	b.StGlobal(isa.R(2), 2048, isa.R(3))
 	b.Exit()
-	k := b.MustKernel()
+	k, err := b.Kernel()
+	if err != nil {
+		return nil, err
+	}
 	k.GridCTAs = 2
 	k.GlobalMemWords = 4096
-	return k
+	return k, nil
 }
 
 // PrintFig2 renders the timeline.

@@ -33,14 +33,43 @@ type Timing struct {
 	// SFUPortsPerSM bounds SFU issues per SM per cycle.
 	SFUPortsPerSM int
 
-	// MaxCycles aborts runs that stop making progress.
+	// MaxCycles aborts runs that stop making progress. It is the
+	// last-resort backstop: the watchdog below should catch every real
+	// hang long before this fires.
 	MaxCycles int64
+
+	// IdleDeadlockThreshold is how many consecutive cycles the whole
+	// device may sit with nothing issued and no event pending before the
+	// run aborts with ErrDeadlock. Zero selects the default.
+	IdleDeadlockThreshold int64
+
+	// ProgressEpoch is the forward-progress watchdog's check interval in
+	// cycles. At each epoch boundary the device compares issue, retire,
+	// and acquire counters against the previous epoch; a machine that
+	// issues nothing for a full epoch is declared deadlocked, and one
+	// that retries acquires without a single success or warp completion
+	// for LivelockEpochs consecutive epochs is declared livelocked.
+	// Zero selects the default.
+	ProgressEpoch int64
+
+	// LivelockEpochs is how many consecutive no-progress epochs the
+	// watchdog tolerates before aborting with ErrLivelock. Zero selects
+	// the default.
+	LivelockEpochs int
 
 	// LooseRoundRobin switches the warp schedulers from the default
 	// greedy-then-oldest policy to a loose round-robin (ablation:
 	// BenchmarkAblationScheduler).
 	LooseRoundRobin bool
 }
+
+// Watchdog defaults, applied when the corresponding Timing field is zero
+// so hand-built Timing values keep their historical behavior.
+const (
+	DefaultIdleDeadlockThreshold = 4
+	DefaultProgressEpoch         = 1_000_000
+	DefaultLivelockEpochs        = 3
+)
 
 // DefaultTiming returns the timing model used throughout the evaluation.
 func DefaultTiming() Timing {
@@ -53,8 +82,28 @@ func DefaultTiming() Timing {
 		MaxInFlightMem: 48,
 		SFUPortsPerSM:  1,
 		MaxCycles:      200_000_000,
+
+		IdleDeadlockThreshold: DefaultIdleDeadlockThreshold,
+		ProgressEpoch:         DefaultProgressEpoch,
+		LivelockEpochs:        DefaultLivelockEpochs,
 	}
 }
+
+// maxLatency returns the largest issue-to-writeback latency any opcode can
+// take under this timing model; the audit layer uses it to bound how far
+// in the future a pending scoreboard write may legally land.
+func (t Timing) maxLatency() int64 {
+	m := t.ALULatency
+	for _, l := range []int64{t.FPLatency, t.SFULatency, t.SharedLatency, t.GlobalLatency} {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// MaxLatency is the exported form of maxLatency for the audit layer.
+func (t Timing) MaxLatency() int64 { return t.maxLatency() }
 
 // latency returns the issue-to-writeback latency for op.
 func (t Timing) latency(op isa.Opcode) int64 {

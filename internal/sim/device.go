@@ -31,7 +31,17 @@ type Device struct {
 	multiRR   int
 	totalCTAs int
 
-	oobAccesses int64
+	oobAccesses  int64
+	warpsRetired int64
+
+	// fatalErr latches the first unrecoverable machine error (e.g. a
+	// warp-slot accounting violation); Run surfaces it.
+	fatalErr error
+
+	// Audit, when non-nil, is consulted every cycle and at kernel end;
+	// a returned error aborts the run (see internal/audit). Keep it nil
+	// for performance runs.
+	Audit AuditHook
 
 	// Listener, when non-nil, receives allocation events (used by the
 	// Figure 2 timeline example). Keep it nil for performance runs.
@@ -50,6 +60,15 @@ type Sample struct {
 	Cycle         int64
 	ResidentWarps int // warps currently resident on all SMs
 	HeldSections  int // SRP sections currently acquired (RegMutex only)
+}
+
+// AuditHook validates machine invariants while a device runs. CheckCycle
+// is called once per simulated step (implementations choose their own
+// cadence internally); CheckEnd is called after the last CTA retires.
+// Returning a non-nil error aborts the run with that error.
+type AuditHook interface {
+	CheckCycle(d *Device, now int64) error
+	CheckEnd(d *Device) error
 }
 
 // Event is a coarse notification for visualisation hooks.
@@ -110,7 +129,18 @@ func NewDevice(cfg occupancy.Config, timing Timing, k *isa.Kernel, pol Policy, g
 			}
 		}
 	}
+	if d.fatalErr != nil {
+		return nil, d.fatalErr
+	}
 	return d, nil
+}
+
+// fail latches the first unrecoverable machine error; Run (or NewDevice,
+// for launch-time failures) surfaces it to the caller.
+func (d *Device) fail(err error) {
+	if d.fatalErr == nil {
+		d.fatalErr = err
+	}
 }
 
 func (d *Device) emit(ev Event) {
@@ -180,6 +210,11 @@ type Stats struct {
 	Instructions int64
 	CTAs         int
 
+	// AcqRelInstructions counts the ACQ/REL primitives among
+	// Instructions; differential testing subtracts them so instruction
+	// counts compare across RegMutex-transformed and untouched kernels.
+	AcqRelInstructions int64
+
 	// AvgOccupancyWarps is resident warps averaged over SM active
 	// cycles (achieved, not theoretical).
 	AvgOccupancyWarps float64
@@ -211,16 +246,117 @@ func (s Stats) AcquireSuccessRate() float64 {
 	return float64(s.AcquireSuccesses) / float64(s.AcquireAttempts)
 }
 
+// progressSnapshot is what the forward-progress watchdog compares across
+// epochs: global issue, completion, and acquire counters plus a per-warp
+// issue snapshot for the diagnostic.
+type progressSnapshot struct {
+	issued    int64
+	doneCTAs  int
+	retired   int64
+	attempts  uint64
+	successes uint64
+	perWarp   map[*Warp]int64
+}
+
+func (d *Device) snapshotProgress() progressSnapshot {
+	s := progressSnapshot{doneCTAs: d.doneCTAs, retired: d.warpsRetired, perWarp: make(map[*Warp]int64)}
+	for _, sm := range d.sms {
+		s.issued += sm.issued
+		a, ok, _ := sm.policy.Counters()
+		s.attempts += a
+		s.successes += ok
+		for _, w := range sm.warps {
+			if !w.Finished() {
+				s.perWarp[w] = w.Issued
+			}
+		}
+	}
+	return s
+}
+
+// stuckWarps counts live warps that issued nothing since the previous
+// epoch snapshot (the per-warp progress-epoch part of the watchdog).
+func (d *Device) stuckWarps(prev progressSnapshot) int {
+	n := 0
+	for _, sm := range d.sms {
+		for _, w := range sm.warps {
+			if w.Finished() {
+				continue
+			}
+			if last, seen := prev.perWarp[w]; seen && w.Issued == last {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Run simulates until every CTA has retired and returns the statistics.
+//
+// Three guards watch forward progress, from fastest to last-resort: an
+// idle detector (nothing issued, no event pending, for
+// IdleDeadlockThreshold cycles → ErrDeadlock), a progress-epoch watchdog
+// (every ProgressEpoch cycles; a silent epoch → ErrDeadlock, and
+// LivelockEpochs epochs of acquire retries with zero successes and zero
+// warp completions → ErrLivelock), and the flat MaxCycles ceiling. All
+// three return a *DeadlockError carrying the machine snapshot.
 func (d *Device) Run() (Stats, error) {
 	target := d.Kernel.GridCTAs
 	if d.multi() {
 		target = d.totalCTAs
 	}
+	idleThr := d.Timing.IdleDeadlockThreshold
+	if idleThr <= 0 {
+		idleThr = DefaultIdleDeadlockThreshold
+	}
+	epoch := d.Timing.ProgressEpoch
+	if epoch <= 0 {
+		epoch = DefaultProgressEpoch
+	}
+	livelockEpochs := d.Timing.LivelockEpochs
+	if livelockEpochs <= 0 {
+		livelockEpochs = DefaultLivelockEpochs
+	}
+
 	idle := int64(0)
+	staleEpochs := 0
+	nextEpoch := d.now + epoch
+	prev := d.snapshotProgress()
 	for d.doneCTAs < target {
+		if d.fatalErr != nil {
+			return Stats{}, d.fatalErr
+		}
 		if d.now > d.Timing.MaxCycles {
-			return Stats{}, fmt.Errorf("sim: kernel %s exceeded %d cycles (possible livelock)", d.Kernel.Name, d.Timing.MaxCycles)
+			return Stats{}, d.wedgeError(WedgeMaxCycles)
+		}
+		if d.Audit != nil {
+			if err := d.Audit.CheckCycle(d, d.now); err != nil {
+				return Stats{}, err
+			}
+		}
+		if d.now >= nextEpoch {
+			cur := d.snapshotProgress()
+			switch {
+			case cur.issued == prev.issued:
+				// A whole epoch without a single issue anywhere: events
+				// may still be draining, but no warp can make progress.
+				return Stats{}, d.wedgeError(WedgeDeadlock)
+			case cur.doneCTAs == prev.doneCTAs && cur.retired == prev.retired &&
+				cur.successes == prev.successes && cur.attempts > prev.attempts:
+				// The machine is busy, but every acquire attempt since
+				// the last epoch failed and no warp completed: warps are
+				// spinning on acquire retries.
+				staleEpochs++
+				if staleEpochs >= livelockEpochs {
+					e := d.wedgeError(WedgeLivelock)
+					e.StuckWarps = d.stuckWarps(prev)
+					return Stats{}, e
+				}
+			default:
+				staleEpochs = 0
+			}
+			prev = cur
+			nextEpoch = d.now + epoch
 		}
 		if d.Sampler != nil && d.now >= d.nextSample {
 			d.Sampler(d.sample())
@@ -243,8 +379,8 @@ func (d *Device) Run() (Stats, error) {
 			}
 			if next < 0 {
 				idle++
-				if idle > 4 {
-					return Stats{}, d.deadlockError()
+				if idle > idleThr {
+					return Stats{}, d.wedgeError(WedgeDeadlock)
 				}
 				d.now++
 				continue
@@ -256,49 +392,84 @@ func (d *Device) Run() (Stats, error) {
 		idle = 0
 		d.now++
 	}
+	if d.fatalErr != nil {
+		return Stats{}, d.fatalErr
+	}
+	if d.Audit != nil {
+		if err := d.Audit.CheckEnd(d); err != nil {
+			return Stats{}, err
+		}
+	}
 	return d.collectStats(), nil
 }
 
-// deadlockError builds a diagnostic for a wedged machine. In multi-kernel
-// mode each warp may belong to a different kernel, so the stalled
-// instruction is decoded against the warp's own kernel and the CTA target
-// is the combined grid.
-func (d *Device) deadlockError() error {
-	waiting, barrier, total := 0, 0, 0
-	detail := ""
+// deadlockError builds the deadlock diagnostic for a wedged machine
+// (kept as a thin wrapper; wedgeError is the shared scan).
+func (d *Device) deadlockError() error { return d.wedgeError(WedgeDeadlock) }
+
+// wedgeError builds the structured *DeadlockError diagnostic. In
+// multi-kernel mode each warp may belong to a different kernel, so the
+// stalled instruction is decoded against the warp's own kernel and the
+// CTA target is the combined grid. The snapshot includes current SRP
+// occupancy when the policy exposes one.
+func (d *Device) wedgeError(kind WedgeKind) *DeadlockError {
+	e := &DeadlockError{
+		Kind:        kind,
+		Policy:      d.Policy.Name(),
+		Cycle:       d.now,
+		DoneCTAs:    d.doneCTAs,
+		MaxCycles:   d.Timing.MaxCycles,
+		SRPHeld:     -1,
+		SRPSections: -1,
+	}
 	for _, sm := range d.sms {
+		if s, ok := sm.policy.(interface {
+			HeldSections() int
+			SRPSectionCount() int
+		}); ok {
+			// A negative count means "no SRP here" (e.g. a fault-injection
+			// wrapper around a policy without one): keep the snapshot off.
+			if n := s.SRPSectionCount(); n >= 0 {
+				if e.SRPSections < 0 {
+					e.SRPHeld, e.SRPSections = 0, 0
+				}
+				e.SRPHeld += s.HeldSections()
+				e.SRPSections += n
+			}
+		}
 		for _, w := range sm.warps {
 			if w.Finished() {
 				continue
 			}
-			total++
+			e.LiveWarps++
 			if w.atBarrier {
-				barrier++
-			} else {
-				waiting++
-				if detail == "" {
-					kern := w.CTA.kern
-					pc := w.NextPC()
-					instr := "-"
-					if pc >= 0 && pc < len(kern.Instrs) {
-						instr = kern.Instrs[pc].String()
-					}
-					detail = fmt.Sprintf("; first stalled: SM%d warp %d (kernel %s) at pc %d (%s), stack %d",
-						sm.id, w.Widx, kern.Name, pc, instr, w.StackDepth())
+				e.AtBarrier++
+				continue
+			}
+			e.Stalled++
+			if e.First == nil {
+				kern := w.CTA.kern
+				pc := w.NextPC()
+				instr := "-"
+				if pc >= 0 && pc < len(kern.Instrs) {
+					instr = kern.Instrs[pc].String()
+				}
+				e.First = &WarpDiag{
+					SM: sm.id, Widx: w.Widx, Kernel: kern.Name,
+					PC: pc, Instr: instr, Stack: w.StackDepth(),
 				}
 			}
 		}
 	}
-	name, target := d.Kernel.Name, d.Kernel.GridCTAs
+	e.Kernel, e.TargetCTAs = d.Kernel.Name, d.Kernel.GridCTAs
 	if d.multi() {
 		names := make([]string, len(d.kernels))
 		for i, k := range d.kernels {
 			names[i] = k.Name
 		}
-		name, target = strings.Join(names, "+"), d.totalCTAs
+		e.Kernel, e.TargetCTAs = strings.Join(names, "+"), d.totalCTAs
 	}
-	return fmt.Errorf("sim: deadlock in kernel %s under %s: %d live warps (%d at barriers, %d stalled), %d/%d CTAs done%s",
-		name, d.Policy.Name(), total, barrier, waiting, d.doneCTAs, target, detail)
+	return e
 }
 
 func (d *Device) collectStats() Stats {
@@ -306,6 +477,7 @@ func (d *Device) collectStats() Stats {
 	var activeSum, occSum int64
 	for _, sm := range d.sms {
 		st.Instructions += sm.issued
+		st.AcqRelInstructions += sm.acqRelIssued
 		st.RFReads += sm.rfReads
 		st.RFWrites += sm.rfWrites
 		activeSum += sm.cyclesActive

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the simulator's failure classes. They are attached
+// to the rich diagnostic types below via Unwrap, so callers classify
+// failures with errors.Is and keep sweeps running instead of dying:
+//
+//	if errors.Is(err, sim.ErrDeadlock) { ... render ERR(deadlock) ... }
+var (
+	// ErrDeadlock marks a wedged machine: live warps exist but nothing
+	// can ever issue again (circular acquire/barrier waits).
+	ErrDeadlock = errors.New("deadlock")
+
+	// ErrLivelock marks a machine that keeps issuing without retiring
+	// work: warps spin on acquire retries (or a runaway loop hits the
+	// MaxCycles backstop) while no CTA completes.
+	ErrLivelock = errors.New("livelock")
+
+	// ErrNoWarpSlot marks a residency-accounting violation: a CTA launch
+	// found no free warp slot even though the dispatcher's occupancy
+	// checks said it would fit.
+	ErrNoWarpSlot = errors.New("no free warp slot")
+
+	// ErrInvariant marks a machine-state invariant violation detected by
+	// an attached audit hook (see internal/audit).
+	ErrInvariant = errors.New("invariant violation")
+)
+
+// WedgeKind labels how forward progress was lost.
+type WedgeKind string
+
+const (
+	// WedgeDeadlock: nothing issued and no event is pending.
+	WedgeDeadlock WedgeKind = "deadlock"
+	// WedgeLivelock: the progress watchdog saw acquire retries without a
+	// single success or warp completion for several epochs.
+	WedgeLivelock WedgeKind = "livelock"
+	// WedgeMaxCycles: the flat cycle ceiling, the last-resort backstop a
+	// watchdog-detected failure should never reach.
+	WedgeMaxCycles WedgeKind = "max-cycles"
+)
+
+// WarpDiag locates the first stalled warp in a wedge diagnostic.
+type WarpDiag struct {
+	SM     int
+	Widx   int
+	Kernel string
+	PC     int
+	Instr  string
+	Stack  int
+}
+
+// DeadlockError is the structured diagnostic for a machine that stopped
+// making forward progress: deadlock, watchdog-detected livelock, or the
+// MaxCycles backstop. It unwraps to ErrDeadlock or ErrLivelock so the
+// harness can classify rows without string matching.
+type DeadlockError struct {
+	Kind   WedgeKind
+	Kernel string
+	Policy string
+	Cycle  int64
+
+	LiveWarps int // unfinished warps on the device
+	AtBarrier int // of those, parked at a CTA barrier
+	Stalled   int // of those, runnable but unable to issue
+
+	DoneCTAs   int
+	TargetCTAs int
+
+	// StuckWarps counts live warps that issued nothing during the last
+	// watchdog epoch (epoch-watchdog wedges only; 0 otherwise).
+	StuckWarps int
+
+	// SRP occupancy snapshot; Sections < 0 when the policy has no SRP.
+	SRPHeld     int
+	SRPSections int
+
+	// MaxCycles is the ceiling that fired (WedgeMaxCycles only).
+	MaxCycles int64
+
+	// First identifies the first stalled warp, when one exists.
+	First *WarpDiag
+}
+
+// Unwrap classifies the wedge: deadlocks are ErrDeadlock, both livelock
+// kinds (watchdog and MaxCycles backstop) are ErrLivelock.
+func (e *DeadlockError) Unwrap() error {
+	if e.Kind == WedgeDeadlock {
+		return ErrDeadlock
+	}
+	return ErrLivelock
+}
+
+func (e *DeadlockError) Error() string {
+	srp := ""
+	if e.SRPSections >= 0 {
+		srp = fmt.Sprintf(", SRP %d/%d held", e.SRPHeld, e.SRPSections)
+	}
+	first := ""
+	if e.First != nil {
+		first = fmt.Sprintf("; first stalled: SM%d warp %d (kernel %s) at pc %d (%s), stack %d",
+			e.First.SM, e.First.Widx, e.First.Kernel, e.First.PC, e.First.Instr, e.First.Stack)
+	}
+	switch e.Kind {
+	case WedgeMaxCycles:
+		return fmt.Sprintf("sim: kernel %s exceeded %d cycles (possible livelock): %d live warps (%d at barriers, %d stalled), %d/%d CTAs done%s%s",
+			e.Kernel, e.MaxCycles, e.LiveWarps, e.AtBarrier, e.Stalled, e.DoneCTAs, e.TargetCTAs, srp, first)
+	case WedgeLivelock:
+		stuck := ""
+		if e.StuckWarps > 0 {
+			stuck = fmt.Sprintf(", %d issued nothing last epoch", e.StuckWarps)
+		}
+		return fmt.Sprintf("sim: livelock in kernel %s under %s at cycle %d: warps retry acquires without retiring; %d live warps (%d at barriers, %d stalled%s), %d/%d CTAs done%s%s",
+			e.Kernel, e.Policy, e.Cycle, e.LiveWarps, e.AtBarrier, e.Stalled, stuck, e.DoneCTAs, e.TargetCTAs, srp, first)
+	default:
+		return fmt.Sprintf("sim: deadlock in kernel %s under %s: %d live warps (%d at barriers, %d stalled), %d/%d CTAs done%s%s",
+			e.Kernel, e.Policy, e.LiveWarps, e.AtBarrier, e.Stalled, e.DoneCTAs, e.TargetCTAs, srp, first)
+	}
+}

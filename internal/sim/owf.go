@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
 )
@@ -126,4 +128,15 @@ func (s *owfState) Priority(w *Warp) int {
 
 func (s *owfState) Counters() (uint64, uint64, uint64) {
 	return s.attempts, s.successes, 0
+}
+
+// AuditCycle validates the pair-lock state: a taken lock must name one of
+// the pair's two warp slots.
+func (s *owfState) AuditCycle() error {
+	for pair, o := range s.owner {
+		if o != 0 && (o-1)/2 != pair {
+			return fmt.Errorf("OWF pair %d owned by warp %d outside the pair", pair, o-1)
+		}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"regmutex/internal/core"
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
@@ -130,6 +132,30 @@ func (s *regmutexState) Counters() (uint64, uint64, uint64) {
 // HeldSections reports currently-acquired SRP sections (for sampling).
 func (s *regmutexState) HeldSections() int { return s.srp.InUse() }
 
+// SRPSectionCount reports the SM's usable SRP section total (for wedge
+// diagnostics).
+func (s *regmutexState) SRPSectionCount() int { return s.srp.Sections() }
+
+// SRP exposes the raw allocator state. FAULT INJECTION AND AUDIT ONLY:
+// internal/faults corrupts it to prove the auditor notices.
+func (s *regmutexState) SRP() *core.SRP { return s.srp }
+
+// AuditCycle validates the SRP conservation law (free + held == total,
+// every busy section owned by exactly one warp) each audit epoch.
+func (s *regmutexState) AuditCycle() error { return s.srp.CheckConservation() }
+
+// AuditEnd additionally requires zero leaked sections once the kernel has
+// retired every CTA.
+func (s *regmutexState) AuditEnd() error {
+	if err := s.srp.CheckConservation(); err != nil {
+		return err
+	}
+	if n := s.srp.InUse(); n > 0 {
+		return fmt.Errorf("%d of %d SRP sections leaked at kernel end", n, s.srp.Sections())
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------
 // Paired-warps specialisation (section III-C): SRP sections are privatised
 // to pairs of warps; each pair statically owns 2·|Bs| + |Es| registers and
@@ -210,4 +236,15 @@ func (s *pairedState) OnWarpExit(w *Warp) {
 
 func (s *pairedState) Counters() (uint64, uint64, uint64) {
 	return s.attempts, s.successes, s.releases
+}
+
+// AuditCycle validates the pair-mutex state: a held bit must name one of
+// the pair's two warps.
+func (s *pairedState) AuditCycle() error {
+	for pair, h := range s.holder {
+		if h != 0 && (h-1)/2 != pair {
+			return fmt.Errorf("pair %d mutex held by warp %d outside the pair", pair, h-1)
+		}
+	}
+	return nil
 }

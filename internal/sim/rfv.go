@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"regmutex/internal/cfg"
@@ -83,22 +84,59 @@ func (p *RFVPolicy) avgLiveDemand(k *isa.Kernel) int {
 // NewSMState implements Policy.
 func (p *RFVPolicy) NewSMState(sm *SM) PolicyState {
 	return &rfvState{
-		sm:       sm,
-		freeRows: p.cfg.WarpRegisters(),
-		backed:   make(map[*Warp]isa.RegSet),
+		sm:        sm,
+		freeRows:  p.cfg.WarpRegisters(),
+		totalRows: p.cfg.WarpRegisters(),
+		backed:    make(map[*Warp]isa.RegSet),
 	}
 }
 
 type rfvState struct {
 	nopState
-	sm       *SM
-	freeRows int
-	backed   map[*Warp]isa.RegSet
+	sm        *SM
+	freeRows  int
+	totalRows int
+	backed    map[*Warp]isa.RegSet
 
 	allocStalls uint64
 	allocs      uint64
 	frees       uint64
 }
+
+// AuditCycle validates the renaming row conservation law: free rows plus
+// rows backing architected registers must equal the physical file, and
+// the free count can never go negative.
+func (s *rfvState) AuditCycle() error {
+	used := 0
+	for _, rs := range s.backed {
+		used += rs.Count()
+	}
+	if s.freeRows < 0 {
+		return fmt.Errorf("RFV free row count %d is negative", s.freeRows)
+	}
+	if s.freeRows+used != s.totalRows {
+		return fmt.Errorf("RFV row accounting broken: %d free + %d backed != %d total",
+			s.freeRows, used, s.totalRows)
+	}
+	return nil
+}
+
+// AuditEnd additionally requires every row returned once all warps exit.
+func (s *rfvState) AuditEnd() error {
+	if err := s.AuditCycle(); err != nil {
+		return err
+	}
+	if len(s.backed) > 0 {
+		return fmt.Errorf("RFV leaked backing rows for %d warps at kernel end", len(s.backed))
+	}
+	return nil
+}
+
+// CorruptFreeRows shifts the free-row count without touching any backing
+// state. FAULT INJECTION ONLY (internal/faults): it models a soft error in
+// the register availability vector, which AuditCycle must catch as broken
+// row accounting.
+func (s *rfvState) CorruptFreeRows(delta int) { s.freeRows += delta }
 
 // privileged returns the CTA containing the oldest incomplete warp.
 func (s *rfvState) privileged() *CTAState {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"fmt"
 
 	"regmutex/internal/isa"
 )
@@ -93,6 +94,7 @@ type SM struct {
 
 	// Stats.
 	issued        int64
+	acqRelIssued  int64 // ACQ/REL primitives among issued (differential runs subtract these)
 	cyclesActive  int64
 	warpsLaunched int64
 	occupancySum  int64 // resident warps integrated over active cycles
@@ -133,6 +135,11 @@ func (sm *SM) launchCTA(id int) {
 // launchCTAOf places a CTA of an arbitrary kernel onto the SM (the
 // multi-kernel path; kidx selects its global memory).
 func (sm *SM) launchCTAOf(k *isa.Kernel, kidx, id int) {
+	if sm.freeSlots() < k.WarpsPerCTA() {
+		sm.dev.fail(fmt.Errorf("sim: SM%d: %w for CTA %d of kernel %s (%d free, %d needed)",
+			sm.id, ErrNoWarpSlot, id, k.Name, sm.freeSlots(), k.WarpsPerCTA()))
+		return
+	}
 	cta := &CTAState{ID: id, kern: k, global: sm.dev.GlobalOf(kidx)}
 	if k.SharedMemWords > 0 {
 		cta.shared = make([]uint64, k.SharedMemWords)
@@ -144,6 +151,9 @@ func (sm *SM) launchCTAOf(k *isa.Kernel, kidx, id int) {
 			lanes = isa.WarpSize
 		}
 		widx := sm.takeSlot()
+		if widx < 0 {
+			return
+		}
 		w := newWarp(k, int(sm.dev.warpSeq), widx, cta, lanes)
 		sm.dev.warpSeq++
 		cta.warps = append(cta.warps, w)
@@ -161,8 +171,10 @@ func (sm *SM) takeSlot() int {
 			return i
 		}
 	}
-	// Residency accounting should prevent this.
-	panic("sim: no free warp slot")
+	// Residency accounting should prevent this; latch a typed error the
+	// device surfaces from Run (or NewDevice) instead of panicking.
+	sm.dev.fail(fmt.Errorf("sim: SM%d: %w with %d warps resident", sm.id, ErrNoWarpSlot, len(sm.warps)))
+	return -1
 }
 
 // retireCTA frees a finished CTA's resources.
@@ -387,6 +399,9 @@ func (sm *SM) tryIssue(w *Warp, now int64) bool {
 		sm.rfWrites++
 	}
 
+	if in.Op == isa.OpAcq || in.Op == isa.OpRel {
+		sm.acqRelIssued++
+	}
 	w.Issued++
 	sm.policy.OnIssued(w, in, now)
 	if w.top() == nil {
@@ -415,6 +430,7 @@ func (sm *SM) onWarpFinished(w *Warp) {
 	}
 	w.retired = true
 	w.finished = true
+	sm.dev.warpsRetired++
 	sm.policy.OnWarpExit(w)
 	cta := w.CTA
 	cta.doneWarps++

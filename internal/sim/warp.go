@@ -198,5 +198,40 @@ func (w *Warp) exitLanes(m laneMask) { w.done |= m }
 // StackDepth reports the current divergence depth (diagnostics).
 func (w *Warp) StackDepth() int { return len(w.stack) }
 
+// AtBarrier reports whether the warp is parked at a CTA barrier.
+func (w *Warp) AtBarrier() bool { return w.atBarrier }
+
+// MaxPendingWriteback returns the latest cycle at which any of the warp's
+// pending register or predicate writes lands. The audit layer bounds this
+// against now + Timing.MaxLatency(): a write scheduled further out than
+// the slowest opcode means a lost or corrupted memory response.
+func (w *Warp) MaxPendingWriteback() int64 {
+	m := int64(0)
+	for _, t := range w.regReady {
+		if t > m {
+			m = t
+		}
+	}
+	for _, t := range w.predReady {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// DelayWriteback pushes every pending scoreboard write to land at the
+// given absolute cycle. FAULT INJECTION ONLY (internal/faults): it models
+// a memory response delayed past any architectural bound, which must be
+// caught by the scoreboard audit or the forward-progress watchdog.
+func (w *Warp) DelayWriteback(until int64) {
+	for i := range w.regReady {
+		w.regReady[i] = until
+	}
+	for i := range w.predReady {
+		w.predReady[i] = until
+	}
+}
+
 // ActiveLaneCount returns the number of currently active lanes.
 func (w *Warp) ActiveLaneCount() int { return bits.OnesCount32(uint32(w.activeMask())) }
