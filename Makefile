@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench quick
+.PHONY: build test verify bench quick obs-smoke obs-bench
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,30 @@ build:
 test:
 	$(GO) test ./...
 
-# The full gate: compile, vet, and the whole test suite under the race
-# detector (the parallel experiment engine's concurrency contract).
+# The full gate: compile, vet, the whole test suite under the race
+# detector (the parallel experiment engine's concurrency contract) —
+# stall-attribution conservation tests included — and the observability
+# smoke run (capture a trace, validate the emitted JSON).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 quick:
 	$(GO) run ./cmd/paperbench -quick
+
+# Capture a Chrome trace of one regmutex run and schema-check the JSON;
+# proves the gputrace -> Perfetto pipeline end to end.
+obs-smoke:
+	$(GO) run ./cmd/gputrace -workload bfs -policy regmutex -trace /tmp/gputrace-smoke.json
+	$(GO) run ./cmd/gputrace -validate /tmp/gputrace-smoke.json
+	rm -f /tmp/gputrace-smoke.json
+
+# Price the observability layer: detached (attribution only) vs the full
+# attached collector stack.
+obs-bench:
+	$(GO) test -bench='BenchmarkSim(Detached|Attached)' -benchmem -benchtime=3x ./internal/obs/

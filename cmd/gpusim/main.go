@@ -8,6 +8,7 @@
 //	gpusim -w srad -policy rfv -half       # RFV on the half-size RF
 //	gpusim kernel.kasm -policy regmutex    # assembly file input
 //	gpusim -w sad -policy all              # compare every policy
+//	gpusim -w bfs -policy all -trace t.json -metrics out/   # observability
 package main
 
 import (
@@ -17,9 +18,9 @@ import (
 
 	"regmutex/internal/asm"
 	"regmutex/internal/audit"
-	"regmutex/internal/core"
 	"regmutex/internal/harness"
 	"regmutex/internal/isa"
+	"regmutex/internal/obs"
 	"regmutex/internal/occupancy"
 	"regmutex/internal/runpool"
 	"regmutex/internal/sim"
@@ -33,7 +34,9 @@ func main() {
 	scale := flag.Int("scale", 1, "grid divisor for quicker runs")
 	sms := flag.Int("sms", 0, "override SM count")
 	seed := flag.Uint64("seed", 42, "input seed")
-	trace := flag.Bool("trace", false, "print an occupancy / SRP-holders timeline")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	timeline := flag.Bool("timeline", false, "print an occupancy / SRP-holders timeline")
+	metricsDir := flag.String("metrics", "", "write metrics.json and metrics.csv into this directory")
 	jobs := flag.Int("j", 0, "policies to simulate concurrently with -policy all (0 = all cores, 1 = serial)")
 	auditOn := flag.Bool("audit", false, "attach the invariant auditor (aborts on the first broken machine invariant)")
 	flag.Parse()
@@ -48,6 +51,7 @@ func main() {
 
 	var k *isa.Kernel
 	var input []uint64
+	kname := "kernel"
 	switch {
 	case *workload != "":
 		w, err := workloads.ByName(*workload)
@@ -56,6 +60,7 @@ func main() {
 		}
 		k = w.Build(*scale)
 		input = w.Input(k, *seed)
+		kname = w.Name
 	case flag.Arg(0) != "":
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -71,11 +76,20 @@ func main() {
 
 	names := []string{*policy}
 	if *policy == "all" {
-		names = []string{"static", "regmutex", "paired", "owf", "rfv"}
+		names = harness.PolicyNames
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace(0)
+	}
+	var metrics *obs.Registry
+	if *metricsDir != "" {
+		metrics = obs.NewRegistry()
 	}
 	// Policies are independent simulations: fan them out through a pool
 	// and collect in the fixed order so the report (and static's role as
-	// the delta reference) is identical at any -j.
+	// the delta reference) is identical at any -j. The trace ring and
+	// metrics registry are thread-safe, so observed runs fan out too.
 	pool := runpool.New(*jobs)
 	type result struct {
 		st      sim.Stats
@@ -86,18 +100,43 @@ func main() {
 		name := name
 		futs[i] = pool.Submit(func() (any, error) {
 			var r result
-			st, err := runPolicy(machine, k, input, name, func(d *sim.Device) {
-				if *auditOn {
-					audit.Attach(d, audit.DefaultEvery)
-				}
-				if *trace {
-					d.SampleInterval = 512
-					d.Sampler = func(sm sim.Sample) { r.samples = append(r.samples, sm) }
-				}
-			})
+			run, pol, err := harness.PreparePolicy(machine, k, name)
 			if err != nil {
 				return nil, err
 			}
+			var global []uint64
+			if input != nil {
+				global = append([]uint64(nil), input...)
+			}
+			opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global)}
+			if *auditOn {
+				opts = append(opts, sim.WithAudit(audit.Standard(audit.DefaultEvery)))
+			}
+			var col *obs.Collector
+			if trace != nil {
+				col = obs.NewCollector(trace)
+				col.Proc = kname + "/" + name
+				opts = append(opts, sim.WithObserver(col))
+			}
+			if *timeline {
+				opts = append(opts,
+					sim.WithSampleInterval(512),
+					sim.WithObserver(sim.ObserverFuncs{
+						Sample: func(s sim.Sample) { r.samples = append(r.samples, s) },
+					}))
+			}
+			d, err := sim.New(sim.DeviceSpec{Config: machine, Timing: sim.DefaultTiming(), Kernel: run}, opts...)
+			if err != nil {
+				return nil, err
+			}
+			st, err := d.Run()
+			if err != nil {
+				return nil, err
+			}
+			if col != nil {
+				col.Flush(st.Cycles)
+			}
+			obs.RecordStats(metrics, kname+"/"+name, st)
 			r.st = st
 			return r, nil
 		})
@@ -114,7 +153,7 @@ func main() {
 		}
 		r := v.(result)
 		st := r.st
-		if *trace {
+		if *timeline {
 			printTimeline(machine, name, r.samples)
 		}
 		ipc := float64(st.Instructions) / float64(st.Cycles) / float64(machine.NumSMs)
@@ -130,59 +169,57 @@ func main() {
 			name, st.Cycles, st.Instructions, st.AvgOccupancyWarps,
 			100*st.AcquireSuccessRate(), ipc, stalls, delta)
 	}
+	if trace != nil {
+		if err := writeTrace(*traceOut, trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (%d overwritten); open in ui.perfetto.dev\n",
+			trace.Len(), *traceOut, trace.Dropped())
+	}
+	if metrics != nil {
+		if err := writeMetrics(*metricsDir, metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics.json and metrics.csv to %s\n", *metricsDir)
+	}
 }
 
-func runPolicy(machine occupancy.Config, k *isa.Kernel, input []uint64, name string, configure func(*sim.Device)) (sim.Stats, error) {
-	run := k
-	var pol sim.Policy
-	switch name {
-	case "static":
-		pre, err := core.Prepare(k)
-		if err != nil {
-			return sim.Stats{}, err
-		}
-		run, pol = pre, sim.NewStaticPolicy(machine)
-	case "owf", "rfv":
-		pre, err := core.Prepare(k)
-		if err != nil {
-			return sim.Stats{}, err
-		}
-		run = pre
-		if name == "rfv" {
-			pol = sim.NewRFVPolicy(machine)
-		} else {
-			res, err := core.Transform(k, core.Options{Config: machine})
-			if err != nil {
-				return sim.Stats{}, err
-			}
-			pol = sim.NewOWFPolicy(machine, res.Split.Bs)
-		}
-	case "regmutex", "paired":
-		res, err := core.Transform(k, core.Options{Config: machine})
-		if err != nil {
-			return sim.Stats{}, err
-		}
-		run = res.Kernel
-		if name == "paired" {
-			pol = sim.NewPairedPolicy(machine)
-		} else {
-			pol = sim.NewRegMutexPolicy(machine)
-		}
-	default:
-		return sim.Stats{}, fmt.Errorf("unknown policy %q", name)
-	}
-	var global []uint64
-	if input != nil {
-		global = append([]uint64(nil), input...)
-	}
-	d, err := sim.NewDevice(machine, sim.DefaultTiming(), run, pol, global)
+// writeTrace exports the ring buffer as Chrome trace-event JSON.
+func writeTrace(path string, trace *obs.Trace) error {
+	f, err := os.Create(path)
 	if err != nil {
-		return sim.Stats{}, err
+		return err
 	}
-	if configure != nil {
-		configure(d)
+	if err := obs.WriteChromeTrace(f, trace.Events()); err != nil {
+		f.Close()
+		return err
 	}
-	return d.Run()
+	return f.Close()
+}
+
+// writeMetrics snapshots the registry into dir/metrics.{json,csv}.
+func writeMetrics(dir string, metrics *obs.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	report := metrics.Snapshot()
+	for name, write := range map[string]func(*os.File) error{
+		"metrics.json": func(f *os.File) error { return report.WriteJSON(f) },
+		"metrics.csv":  func(f *os.File) error { return report.WriteCSV(f) },
+	} {
+		f, err := os.Create(dir + "/" + name)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // printTimeline renders occupancy (and SRP holders, when the policy has

@@ -1,0 +1,167 @@
+// Command gputrace captures a cycle-level trace of one simulation: it
+// runs a workload under a register-allocation policy with the full
+// observability stack attached and exports what the machine did —
+// per-warp issue/stall spans, SRP acquire/release activity, CTA
+// lifetimes, occupancy counters — as Chrome trace-event JSON (loadable
+// in ui.perfetto.dev or chrome://tracing), an in-terminal timeline, and
+// a metrics report.
+//
+// Usage:
+//
+//	gputrace -workload bfs -policy regmutex -trace out.json
+//	gputrace -workload srad -policy rfv -timeline          # no file, just the terminal view
+//	gputrace -workload sad -policy paired -metrics out/    # metrics.{json,csv}
+//	gputrace -validate out.json                            # schema-check an exported trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regmutex/internal/audit"
+	"regmutex/internal/harness"
+	"regmutex/internal/obs"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload to trace (see internal/workloads)")
+	policy := flag.String("policy", "regmutex", "static | regmutex | paired | owf | rfv")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON here (open in ui.perfetto.dev)")
+	timeline := flag.Bool("timeline", false, "render the trace as a text timeline on stdout")
+	metricsDir := flag.String("metrics", "", "write metrics.json and metrics.csv into this directory")
+	half := flag.Bool("half", false, "halve the register file (section IV-B machine)")
+	sms := flag.Int("sms", 1, "SM count to simulate (1 keeps traces readable; 0 = machine default)")
+	scale := flag.Int("scale", 8, "grid divisor (default 8: traces of full grids are enormous)")
+	seed := flag.Uint64("seed", 42, "input seed")
+	auditOn := flag.Bool("audit", true, "attach the invariant auditor (stall conservation included)")
+	events := flag.Int("events", 0, "trace ring capacity in events (0 = default 262144; oldest overwritten)")
+	sample := flag.Int64("sample", 64, "cycles between occupancy counter samples")
+	validate := flag.String("validate", "", "validate an existing trace JSON file and exit")
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := obs.ValidateChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON\n", *validate)
+		return
+	}
+	if *workload == "" {
+		fatal(fmt.Errorf("no workload: pass -workload <name> (or -validate <file>)"))
+	}
+	if *traceOut == "" && !*timeline && *metricsDir == "" {
+		// No sink requested: default to the terminal timeline so a bare
+		// invocation still shows something.
+		*timeline = true
+	}
+
+	machine := occupancy.GTX480()
+	if *half {
+		machine = occupancy.GTX480Half()
+	}
+	if *sms > 0 {
+		machine.NumSMs = *sms
+	}
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	k := w.Build(*scale)
+	run, pol, err := harness.PreparePolicy(machine, k, *policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	trace := obs.NewTrace(*events)
+	col := obs.NewCollector(trace)
+	col.Proc = w.Name + "/" + *policy
+	opts := []sim.Option{
+		sim.WithPolicy(pol),
+		sim.WithGlobal(w.Input(k, *seed)),
+		sim.WithObserver(col),
+		sim.WithSampleInterval(*sample),
+	}
+	if *auditOn {
+		opts = append(opts, sim.WithAudit(audit.Standard(0)))
+	}
+	d, err := sim.New(sim.DeviceSpec{Config: machine, Timing: sim.DefaultTiming(), Kernel: run}, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := d.Run()
+	if err != nil {
+		fatal(err)
+	}
+	col.Flush(st.Cycles)
+
+	fmt.Printf("%s/%s: %d cycles, %d instructions, %.1f avg warps\n",
+		w.Name, *policy, st.Cycles, st.Instructions, st.AvgOccupancyWarps)
+	fmt.Printf("scheduler slots (%d total = %d cycles x %d schedulers x %d SMs):\n",
+		st.SchedSlots, st.Cycles, machine.SchedulersPerSM, machine.NumSMs)
+	for _, c := range sim.StallCauses() {
+		n := st.Stall[c]
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %12d  (%5.1f%%)\n", c, n, 100*float64(n)/float64(st.SchedSlots))
+	}
+
+	if *timeline {
+		obs.RenderTimeline(os.Stdout, trace.Events(), 0)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, trace.Events()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (%d overwritten); open in ui.perfetto.dev\n",
+			trace.Len(), *traceOut, trace.Dropped())
+	}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fatal(err)
+		}
+		reg := obs.NewRegistry()
+		obs.RecordStats(reg, w.Name+"/"+*policy, st)
+		report := reg.Snapshot()
+		jf, err := os.Create(*metricsDir + "/metrics.json")
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(jf); err != nil {
+			fatal(err)
+		}
+		jf.Close()
+		cf, err := os.Create(*metricsDir + "/metrics.csv")
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteCSV(cf); err != nil {
+			fatal(err)
+		}
+		cf.Close()
+		fmt.Printf("wrote %d metrics to %s/metrics.{json,csv}\n", len(report.Metrics), *metricsDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gputrace: %v\n", err)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@
 //	paperbench                 # every experiment at full scale
 //	paperbench -exp fig7       # one experiment
 //	paperbench -quick          # reduced scale for a fast smoke run
+//	paperbench -exp fig7 -quick -trace fig7.json -metrics out/
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"regmutex/internal/harness"
+	"regmutex/internal/obs"
 	"regmutex/internal/runpool"
 )
 
@@ -27,12 +29,20 @@ func main() {
 	seed := flag.Uint64("seed", 42, "input generator seed")
 	jobs := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	auditOn := flag.Bool("audit", false, "attach the invariant auditor to every simulation")
+	traceOut := flag.String("trace", "", "write every simulation's events to one Chrome trace-event JSON file")
+	metricsDir := flag.String("metrics", "", "write metrics.json and metrics.csv into this directory")
 	flag.Parse()
 
 	// One pool for the whole invocation: experiments share its memo
 	// cache, so e.g. fig9a reuses the baselines fig7 already simulated.
 	pool := runpool.New(*jobs)
 	o := harness.Options{Scale: 1, Seed: *seed, NumSMs: *sms, Pool: pool, Audit: *auditOn}
+	if *traceOut != "" {
+		o.Trace = obs.NewTrace(0)
+	}
+	if *metricsDir != "" {
+		o.Metrics = obs.NewRegistry()
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "seed":
@@ -196,4 +206,44 @@ func main() {
 	hits, misses := pool.CacheStats()
 	fmt.Fprintf(out, "\n[%d experiment(s), scale %d, %s; %d worker(s), %d simulated + %d cached]\n",
 		ran, o.Scale, time.Since(start).Round(time.Millisecond), pool.Workers(), misses, hits)
+
+	if o.Trace != nil {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, o.Trace.Events())
+		}); err != nil {
+			fail("trace", err)
+		}
+		fmt.Fprintf(out, "wrote %d trace events to %s (%d overwritten); open in ui.perfetto.dev\n",
+			o.Trace.Len(), *traceOut, o.Trace.Dropped())
+	}
+	if o.Metrics != nil {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fail("metrics", err)
+		}
+		report := o.Metrics.Snapshot()
+		if err := writeFile(*metricsDir+"/metrics.json", func(f *os.File) error {
+			return report.WriteJSON(f)
+		}); err != nil {
+			fail("metrics", err)
+		}
+		if err := writeFile(*metricsDir+"/metrics.csv", func(f *os.File) error {
+			return report.WriteCSV(f)
+		}); err != nil {
+			fail("metrics", err)
+		}
+		fmt.Fprintf(out, "wrote %d metrics to %s/metrics.{json,csv}\n", len(report.Metrics), *metricsDir)
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -140,12 +140,13 @@ func faultDemo(class string) int {
 	}
 
 	mem := append([]uint64(nil), input...)
-	d, err := sim.NewDevice(cfg, timing, kern, faults.Inject(pol, plan), mem)
+	d, err := sim.New(sim.DeviceSpec{Config: cfg, Timing: timing, Kernel: kern},
+		sim.WithPolicy(faults.Inject(pol, plan)), sim.WithGlobal(mem),
+		sim.WithAudit(audit.Standard(0)))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simfuzz:", err)
 		return 1
 	}
-	audit.Attach(d, 0)
 	_, err = d.Run()
 	if err == nil {
 		fmt.Printf("injected %s: NOT caught (run completed cleanly)\n", plan)

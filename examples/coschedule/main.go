@@ -61,7 +61,9 @@ func main() {
 		k *regmutex.Kernel
 		g []uint64
 	}{{pa, ga}, {pb, gb}} {
-		dev, err := regmutex.NewDevice(machine, regmutex.DefaultTiming(), p.k, nil, clone(p.g))
+		dev, err := regmutex.New(
+			regmutex.DeviceSpec{Config: machine, Timing: regmutex.DefaultTiming(), Kernel: p.k},
+			regmutex.WithGlobal(clone(p.g)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -35,8 +35,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dev, err := regmutex.NewDevice(half, regmutex.DefaultTiming(), res.Kernel,
-		regmutex.NewRegMutexPolicy(half), clone(input))
+	dev, err := regmutex.New(
+		regmutex.DeviceSpec{Config: half, Timing: regmutex.DefaultTiming(), Kernel: res.Kernel},
+		regmutex.WithPolicy(regmutex.NewRegMutexPolicy(half)),
+		regmutex.WithGlobal(clone(input)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +64,10 @@ func runStatic(cfg regmutex.Config, k *regmutex.Kernel, input []uint64) regmutex
 	if err != nil {
 		log.Fatal(err)
 	}
-	dev, err := regmutex.NewDevice(cfg, regmutex.DefaultTiming(), pre, regmutex.NewStaticPolicy(cfg), clone(input))
+	dev, err := regmutex.New(
+		regmutex.DeviceSpec{Config: cfg, Timing: regmutex.DefaultTiming(), Kernel: pre},
+		regmutex.WithPolicy(regmutex.NewStaticPolicy(cfg)),
+		regmutex.WithGlobal(clone(input)))
 	if err != nil {
 		log.Fatal(err)
 	}

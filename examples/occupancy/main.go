@@ -38,7 +38,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dev, err := regmutex.NewDevice(toy, regmutex.DefaultTiming(), pre, regmutex.NewStaticPolicy(toy), nil)
+	dev, err := regmutex.New(
+		regmutex.DeviceSpec{Config: toy, Timing: regmutex.DefaultTiming(), Kernel: pre},
+		regmutex.WithPolicy(regmutex.NewStaticPolicy(toy)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,22 +55,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dev2, err := regmutex.NewDevice(toy, regmutex.DefaultTiming(), res.Kernel, regmutex.NewRegMutexPolicy(toy), nil)
-	if err != nil {
-		log.Fatal(err)
-	}
 	type event struct {
 		cycle int64
 		what  string
 	}
 	var timeline []event
-	dev2.Listener = func(ev regmutex.DeviceEvent) {
-		switch ev.Kind {
-		case "acquire", "release":
-			timeline = append(timeline, event{ev.Cycle, fmt.Sprintf("warp %c %ss the extended set", 'A'+rune(ev.Warp), ev.Kind)})
-		case "cta-launch":
-			timeline = append(timeline, event{ev.Cycle, fmt.Sprintf("warp %c starts execution", 'A'+rune(ev.Data%2))})
-		}
+	dev2, err := regmutex.New(
+		regmutex.DeviceSpec{Config: toy, Timing: regmutex.DefaultTiming(), Kernel: res.Kernel},
+		regmutex.WithPolicy(regmutex.NewRegMutexPolicy(toy)),
+		regmutex.WithObserver(regmutex.ObserverFuncs{
+			Event: func(ev regmutex.DeviceEvent) {
+				switch ev.Kind {
+				case "acquire", "release":
+					timeline = append(timeline, event{ev.Cycle, fmt.Sprintf("warp %c %ss the extended set", 'A'+rune(ev.Warp), ev.Kind)})
+				case "cta-launch":
+					timeline = append(timeline, event{ev.Cycle, fmt.Sprintf("warp %c starts execution", 'A'+rune(ev.Data%2))})
+				}
+			},
+		}))
+	if err != nil {
+		log.Fatal(err)
 	}
 	rm, err := dev2.Run()
 	if err != nil {

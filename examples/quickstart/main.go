@@ -102,7 +102,9 @@ func main() {
 }
 
 func simulate(machine regmutex.Config, k *regmutex.Kernel, pol regmutex.Policy) regmutex.Stats {
-	dev, err := regmutex.NewDevice(machine, regmutex.DefaultTiming(), k, pol, nil)
+	dev, err := regmutex.New(
+		regmutex.DeviceSpec{Config: machine, Timing: regmutex.DefaultTiming(), Kernel: k},
+		regmutex.WithPolicy(pol))
 	if err != nil {
 		log.Fatal(err)
 	}

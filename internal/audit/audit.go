@@ -27,7 +27,10 @@
 //     now + the slowest opcode latency (a later one is a lost or
 //     corrupted memory response);
 //   - warp-slot accounting: occupied slot count equals resident warps,
-//     each warp sits in a distinct, in-range, taken slot.
+//     each warp sits in a distinct, in-range, taken slot;
+//   - stall-attribution conservation: each SM's per-cause scheduler-slot
+//     breakdown (sim.StallBreakdown) sums to cycles × schedulers exactly,
+//     so the observability layer's numbers are complete by construction.
 package audit
 
 import (
@@ -108,6 +111,7 @@ func Standard(every int64) *Auditor {
 		StackChecker{},
 		ScoreboardChecker{},
 		SlotChecker{},
+		StallChecker{},
 	)
 }
 

@@ -146,6 +146,38 @@ func (ScoreboardChecker) Check(d *sim.Device, now int64) *Violation {
 	return nil
 }
 
+// StallChecker enforces stall-attribution conservation: every scheduler
+// slot of every cycle is charged to exactly one cause, so each SM's
+// breakdown must sum to now × SchedulersPerSM exactly — no slot dropped,
+// none double-counted. The check holds at every audit point because Run
+// audits at the top of its loop (after stepping cycle now-1 … but before
+// stepping now) and charges fast-forwarded cycles in bulk.
+type StallChecker struct{}
+
+// Name implements Checker.
+func (StallChecker) Name() string { return "stall-conservation" }
+
+// Check implements Checker.
+func (StallChecker) Check(d *sim.Device, now int64) *Violation {
+	want := now * int64(d.Config.SchedulersPerSM)
+	for _, sm := range d.SMs() {
+		if got := sm.Stalls().Total(); got != want {
+			return &Violation{
+				Rule: "stall-conservation", SM: sm.ID(), Warp: -1, PC: -1, Cycle: now,
+				Detail: fmt.Sprintf("stall breakdown sums to %d slot-cycles, want %d (= %d cycles x %d schedulers): %+v",
+					got, want, now, d.Config.SchedulersPerSM, sm.Stalls()),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckEnd implements endChecker: the same conservation must hold on the
+// final machine state (Run audits the end cycle after its last step).
+func (StallChecker) CheckEnd(d *sim.Device) *Violation {
+	return StallChecker{}.Check(d, d.Now())
+}
+
 // SlotChecker validates warp-slot accounting: the occupied slot count must
 // equal the resident warp count (slots free only when their CTA retires),
 // and every resident warp must sit in a distinct, in-range, taken slot.

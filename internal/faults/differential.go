@@ -74,11 +74,11 @@ func RunDifferential(seed uint64) error {
 	stats := make([]sim.Stats, len(runs))
 	for i, r := range runs {
 		mem := append([]uint64(nil), input...)
-		d, err := sim.NewDevice(cfg, timing, r.kern, r.pol, mem)
+		d, err := sim.New(sim.DeviceSpec{Config: cfg, Timing: timing, Kernel: r.kern},
+			sim.WithPolicy(r.pol), sim.WithGlobal(mem), sim.WithAudit(audit.Standard(0)))
 		if err != nil {
 			return fmt.Errorf("fuzz seed %d: %s: device: %w", seed, r.name, err)
 		}
-		audit.Attach(d, 0)
 		st, err := d.Run()
 		if err != nil {
 			return fmt.Errorf("fuzz seed %d: %s: %w", seed, r.name, err)

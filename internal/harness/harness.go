@@ -13,6 +13,7 @@ import (
 	"regmutex/internal/audit"
 	"regmutex/internal/core"
 	"regmutex/internal/isa"
+	"regmutex/internal/obs"
 	"regmutex/internal/occupancy"
 	"regmutex/internal/runpool"
 	"regmutex/internal/sim"
@@ -49,6 +50,14 @@ type Options struct {
 	// AuditSet marks an explicit choice (the -audit flag sets it).
 	Audit    bool
 	AuditSet bool
+	// Trace, when non-nil, attaches an obs.Collector to every simulation,
+	// feeding this shared ring buffer. Each run's events are tagged with a
+	// "<workload>/<policy>" process lane, so one exported Chrome trace
+	// holds every simulation of the sweep side by side.
+	Trace *obs.Trace
+	// Metrics, when non-nil, receives every finished run's Stats as
+	// "<workload>/<policy>.*" gauges (see obs.RecordStats).
+	Metrics *obs.Registry
 }
 
 func (o Options) normalize() Options {
@@ -77,20 +86,34 @@ func (o Options) machine(base occupancy.Config) occupancy.Config {
 	return base
 }
 
-// runOne simulates kernel k under pol on machine cfg with fresh inputs.
+// runOne simulates kernel k under pol on machine cfg with fresh inputs,
+// attaching whatever observability Options asks for (auditor, trace
+// collector, metrics).
 func runOne(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, pol sim.Policy) (sim.Stats, error) {
 	global := w.Input(k, o.Seed)
-	d, err := sim.NewDevice(cfg, o.Timing, k, pol, global)
-	if err != nil {
-		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, pol.Name(), err)
-	}
+	opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global)}
 	if o.Audit {
-		audit.Attach(d, audit.DefaultEvery)
+		opts = append(opts, sim.WithAudit(audit.Standard(audit.DefaultEvery)))
+	}
+	lane := w.Name + "/" + pol.Name()
+	var col *obs.Collector
+	if o.Trace != nil {
+		col = obs.NewCollector(o.Trace)
+		col.Proc = lane
+		opts = append(opts, sim.WithObserver(col))
+	}
+	d, err := sim.New(sim.DeviceSpec{Config: cfg, Timing: o.Timing, Kernel: k}, opts...)
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("%s: %w", lane, err)
 	}
 	st, err := d.Run()
 	if err != nil {
-		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, pol.Name(), err)
+		return sim.Stats{}, fmt.Errorf("%s: %w", lane, err)
 	}
+	if col != nil {
+		col.Flush(st.Cycles)
+	}
+	obs.RecordStats(o.Metrics, lane, st)
 	return st, nil
 }
 
@@ -141,8 +164,12 @@ func regmutexRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.
 // workload input), the machine config, the policy tag (with any policy
 // parameters encoded by the caller), the input seed, and the timing
 // model. Scale is covered by the fingerprint (it reshapes the grid).
+// Observability sinks appear too: a memo hit skips the simulation and
+// with it the run's trace events and metrics, so runs with a trace or
+// metrics sink attached must not alias unobserved cached ones.
 func runKey(o Options, cfg occupancy.Config, k *isa.Kernel, pol string) string {
-	return fmt.Sprintf("%s|%016x|%+v|seed=%d|%+v|audit=%v", pol, k.Fingerprint(), cfg, o.Seed, o.Timing, o.Audit)
+	return fmt.Sprintf("%s|%016x|%+v|seed=%d|%+v|audit=%v|obs=%v%v",
+		pol, k.Fingerprint(), cfg, o.Seed, o.Timing, o.Audit, o.Trace != nil, o.Metrics != nil)
 }
 
 // statsFuture is a pending simulation's Stats.

@@ -302,7 +302,8 @@ func Fig2() (*Fig2Timeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	dStatic, err := sim.NewDevice(toy, sim.DefaultTiming(), pre, sim.NewStaticPolicy(toy), nil)
+	dStatic, err := sim.New(sim.DeviceSpec{Config: toy, Timing: sim.DefaultTiming(), Kernel: pre},
+		sim.WithPolicy(sim.NewStaticPolicy(toy)))
 	if err != nil {
 		return nil, err
 	}
@@ -321,11 +322,14 @@ func Fig2() (*Fig2Timeline, error) {
 	}
 	rm.BaseSet, rm.ExtSet = 16, 16
 	tl := &Fig2Timeline{StaticCycles: stStatic.Cycles}
-	dRM, err := sim.NewDevice(toy, sim.DefaultTiming(), rm, sim.NewRegMutexPolicy(toy), nil)
+	dRM, err := sim.New(sim.DeviceSpec{Config: toy, Timing: sim.DefaultTiming(), Kernel: rm},
+		sim.WithPolicy(sim.NewRegMutexPolicy(toy)),
+		sim.WithObserver(sim.ObserverFuncs{
+			Event: func(ev sim.Event) { tl.Events = append(tl.Events, ev) },
+		}))
 	if err != nil {
 		return nil, err
 	}
-	dRM.Listener = func(ev sim.Event) { tl.Events = append(tl.Events, ev) }
 	stRM, err := dRM.Run()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,189 @@
+// Package obs is the simulator's observability layer: it turns the raw
+// instrumentation stream of internal/sim (per-cycle scheduler-slot stall
+// attribution, structural events, utilisation samples — see sim.Observer)
+// into artifacts a person or a pipeline can use:
+//
+//   - a ring-buffered structured Trace of warp issue/stall spans, SRP
+//     acquire/release attempts with outcomes, CTA launch/retire spans,
+//     and occupancy/SRP counter samples;
+//   - a Chrome trace-event JSON exporter (WriteChromeTrace), loadable in
+//     Perfetto / chrome://tracing, plus a schema validator the CI smoke
+//     run uses;
+//   - a compact text timeline renderer (RenderTimeline) that reproduces
+//     the paper's Figure 2-style issue/stall plots in a terminal;
+//   - a metrics Registry of named counters and gauges, snapshotted into
+//     a MetricsReport and exported as JSON or CSV.
+//
+// The Collector below is the bridge: attach it to a device with
+// sim.New(spec, sim.WithObserver(collector)) and every artifact above
+// falls out of one run. With no observer attached, the simulator's only
+// residual cost is the slot attribution itself (a couple of array
+// increments per scheduler per cycle), which is what keeps the layer
+// cheap enough to leave on.
+package obs
+
+import (
+	"fmt"
+
+	"regmutex/internal/sim"
+)
+
+// Collector implements sim.Observer: it assembles slot attributions
+// into per-warp issue/stall spans and forwards structural events and
+// samples into a Trace. A Collector serves one device run; several
+// Collectors may share one Trace (the harness tags each run with its
+// own Proc label).
+type Collector struct {
+	// Proc labels this run's events (process lane in the exported
+	// trace); "sim" when empty.
+	Proc string
+
+	trace    *Trace
+	slots    map[slotKey]*openSpan
+	ctas     map[ctaKey]int64 // launch cycle per resident CTA
+	maxCycle int64
+	flushed  bool
+}
+
+type slotKey struct{ sm, sched int }
+
+type ctaKey struct{ sm, id int }
+
+// openSpan is a slot's in-progress issue/stall span.
+type openSpan struct {
+	widx  int // charged warp slot, -1 for slot-level causes
+	cause sim.StallCause
+	start int64
+}
+
+// NewCollector builds a collector feeding the given trace.
+func NewCollector(trace *Trace) *Collector {
+	return &Collector{
+		trace: trace,
+		slots: make(map[slotKey]*openSpan),
+		ctas:  make(map[ctaKey]int64),
+	}
+}
+
+func (c *Collector) proc() string {
+	if c.Proc == "" {
+		return "sim"
+	}
+	return c.Proc
+}
+
+// warpTrack names a warp lane within an SM.
+func warpTrack(smID, widx int) string { return fmt.Sprintf("SM%d warp %02d", smID, widx) }
+
+// slotTrack names a scheduler lane (used when no warp is chargeable).
+func slotTrack(smID, sched int) string { return fmt.Sprintf("SM%d sched %d", smID, sched) }
+
+// OnStall implements sim.Observer: consecutive cycles with the same
+// (warp, cause) coalesce into one span; a change of either closes the
+// span and opens the next.
+func (c *Collector) OnStall(s sim.StallSlot) {
+	if s.Cycle > c.maxCycle {
+		c.maxCycle = s.Cycle
+	}
+	widx := -1
+	if s.Warp != nil {
+		widx = s.Warp.Widx
+	}
+	key := slotKey{s.SM, s.Scheduler}
+	cur := c.slots[key]
+	if cur != nil && (cur.cause != s.Cause || cur.widx != widx) {
+		c.closeSlot(s.SM, s.Scheduler, cur, s.Cycle)
+		cur = nil
+	}
+	if cur == nil {
+		c.slots[key] = &openSpan{widx: widx, cause: s.Cause, start: s.Cycle}
+	}
+}
+
+func (c *Collector) closeSlot(smID, sched int, sp *openSpan, end int64) {
+	track := slotTrack(smID, sched)
+	if sp.widx >= 0 {
+		track = warpTrack(smID, sp.widx)
+	}
+	dur := end - sp.start
+	if dur <= 0 {
+		dur = 1
+	}
+	c.trace.Add(TraceEvent{
+		Name: sp.cause.String(), Cat: "slot", Proc: c.proc(), Track: track,
+		Phase: PhaseSpan, Cycle: sp.start, Dur: dur, Value: int64(sp.cause),
+	})
+}
+
+// OnEvent implements sim.Observer.
+func (c *Collector) OnEvent(ev sim.Event) {
+	if ev.Cycle > c.maxCycle {
+		c.maxCycle = ev.Cycle
+	}
+	switch ev.Kind {
+	case "cta-launch":
+		c.ctas[ctaKey{ev.SM, ev.Data}] = ev.Cycle
+	case "cta-retire":
+		key := ctaKey{ev.SM, ev.Data}
+		if start, ok := c.ctas[key]; ok {
+			delete(c.ctas, key)
+			dur := ev.Cycle - start
+			if dur <= 0 {
+				dur = 1
+			}
+			c.trace.Add(TraceEvent{
+				Name: fmt.Sprintf("CTA %d", ev.Data), Cat: "cta", Proc: c.proc(),
+				Track: fmt.Sprintf("SM%d CTAs", ev.SM),
+				Phase: PhaseSpan, Cycle: start, Dur: dur,
+			})
+		}
+	case "acquire", "acquire-fail", "release":
+		c.trace.Add(TraceEvent{
+			Name: ev.Kind, Cat: "srp", Proc: c.proc(),
+			Track: warpTrack(ev.SM, ev.Warp),
+			Phase: PhaseInstant, Cycle: ev.Cycle, Value: int64(ev.Data),
+		})
+	}
+}
+
+// OnCycleSample implements sim.Observer: utilisation snapshots become
+// counter tracks (resident warps device-wide, held SRP sections).
+func (c *Collector) OnCycleSample(s sim.Sample) {
+	if s.Cycle > c.maxCycle {
+		c.maxCycle = s.Cycle
+	}
+	c.trace.Add(TraceEvent{
+		Name: "resident warps", Cat: "sample", Proc: c.proc(),
+		Phase: PhaseCounter, Cycle: s.Cycle, Value: int64(s.ResidentWarps),
+	})
+	c.trace.Add(TraceEvent{
+		Name: "SRP sections held", Cat: "sample", Proc: c.proc(),
+		Phase: PhaseCounter, Cycle: s.Cycle, Value: int64(s.HeldSections),
+	})
+}
+
+// Flush closes every open span at the given end cycle (pass the run's
+// final Stats.Cycles; zero falls back to the last cycle observed). Call
+// it once, after Device.Run returns.
+func (c *Collector) Flush(end int64) {
+	if c.flushed {
+		return
+	}
+	c.flushed = true
+	if end <= c.maxCycle {
+		end = c.maxCycle + 1
+	}
+	for key, sp := range c.slots {
+		c.closeSlot(key.sm, key.sched, sp, end)
+		delete(c.slots, key)
+	}
+	for key, start := range c.ctas {
+		// CTAs still resident at abort time render as open-to-end.
+		c.trace.Add(TraceEvent{
+			Name: fmt.Sprintf("CTA %d", key.id), Cat: "cta", Proc: c.proc(),
+			Track: fmt.Sprintf("SM%d CTAs", key.sm),
+			Phase: PhaseSpan, Cycle: start, Dur: end - start,
+		})
+		delete(c.ctas, key)
+	}
+}

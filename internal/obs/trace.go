@@ -1,0 +1,109 @@
+package obs
+
+import "sync"
+
+// Phase classifies a trace event, mirroring the Chrome trace-event
+// phases the exporter emits.
+type Phase byte
+
+const (
+	// PhaseSpan is a duration event (Chrome ph "X").
+	PhaseSpan Phase = 'X'
+	// PhaseInstant is a point event (Chrome ph "i").
+	PhaseInstant Phase = 'i'
+	// PhaseCounter is a sampled counter value (Chrome ph "C").
+	PhaseCounter Phase = 'C'
+)
+
+// TraceEvent is one structured record in a trace. Cycle counts serve as
+// timestamps (exported as microseconds, so one simulated cycle renders
+// as 1 µs in Perfetto).
+type TraceEvent struct {
+	// Name is the event label: a stall cause for slot spans, "acquire" /
+	// "acquire-fail" / "release" for SRP events, "CTA n" for CTA spans,
+	// or the counter name.
+	Name string
+	// Cat groups events: "slot", "srp", "cta", "sample".
+	Cat string
+	// Proc is the process lane (one simulation run); the exporter maps
+	// each distinct Proc to a Chrome pid with a process_name record.
+	Proc string
+	// Track is the thread lane within the process (e.g. "SM0 warp 03");
+	// mapped to a Chrome tid with a thread_name record. Counters ignore
+	// it.
+	Track string
+	// Phase selects span / instant / counter.
+	Phase Phase
+	// Cycle is the event's start cycle.
+	Cycle int64
+	// Dur is the span length in cycles (spans only).
+	Dur int64
+	// Value carries the counter sample, or an event argument (the SRP
+	// section index for acquire/release, -1 when absent).
+	Value int64
+}
+
+// Trace is a bounded, thread-safe ring buffer of trace events: cheap
+// enough to leave attached to long simulations, with the oldest events
+// overwritten once the capacity is reached.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []TraceEvent
+	next    int   // ring write position
+	size    int   // live events (<= cap(buf))
+	dropped int64 // events overwritten so far
+}
+
+// DefaultTraceEvents is the ring capacity NewTrace(0) selects.
+const DefaultTraceEvents = 1 << 18
+
+// NewTrace creates a ring buffer holding up to capacity events
+// (DefaultTraceEvents when capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Trace{buf: make([]TraceEvent, capacity)}
+}
+
+// Add appends an event, overwriting the oldest once full.
+func (t *Trace) Add(ev TraceEvent) {
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next = (t.next + 1) % len(t.buf)
+	if t.size < len(t.buf) {
+		t.size++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, t.size)
+	start := t.next - t.size
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.size; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}

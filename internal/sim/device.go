@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"strings"
 
 	"regmutex/internal/isa"
@@ -43,16 +42,26 @@ type Device struct {
 	// for performance runs.
 	Audit AuditHook
 
-	// Listener, when non-nil, receives allocation events (used by the
-	// Figure 2 timeline example). Keep it nil for performance runs.
+	// Listener, when non-nil, receives allocation events.
+	//
+	// Deprecated: attach an Observer with New(spec, WithObserver(...))
+	// instead; the field remains for old callers and is delivered the
+	// same events as Observer.OnEvent.
 	Listener func(ev Event)
 
 	// Sampler, when non-nil, receives a utilisation snapshot roughly
-	// every SampleInterval cycles (gpusim -trace uses it to draw the
-	// occupancy/SRP timeline). Keep it nil for performance runs.
+	// every SampleInterval cycles.
+	//
+	// Deprecated: attach an Observer with New(spec, WithObserver(...))
+	// instead; the field remains for old callers and is delivered the
+	// same samples as Observer.OnCycleSample.
 	Sampler        func(Sample)
 	SampleInterval int64
 	nextSample     int64
+
+	// obs is the attached Observer (nil when detached); set via
+	// WithObserver so it sees the initial CTA wave.
+	obs Observer
 }
 
 // Sample is a point-in-time utilisation snapshot across the device.
@@ -82,57 +91,13 @@ type Event struct {
 
 // NewDevice builds a device for the kernel under the given policy.
 // The caller provides global memory contents (the workload input).
+//
+// Deprecated: use New(DeviceSpec{...}, WithPolicy(pol), WithGlobal(global))
+// — the spec/options form attaches observers and auditors before the
+// initial CTA wave and does not grow a positional nil-heavy signature.
 func NewDevice(cfg occupancy.Config, timing Timing, k *isa.Kernel, pol Policy, global []uint64) (*Device, error) {
-	if err := k.Validate(); err != nil {
-		return nil, err
-	}
-	if pol == nil {
-		pol = NewStaticPolicy(cfg)
-	}
-	d := &Device{
-		Config: cfg,
-		Timing: timing,
-		Kernel: k,
-		Policy: pol,
-		Global: global,
-	}
-	if d.Global == nil {
-		words := k.GlobalMemWords
-		if words <= 0 {
-			words = 1 << 12
-		}
-		d.Global = make([]uint64, words)
-	}
-	ctasPerSM := pol.CTAsPerSM(k)
-	if ctasPerSM <= 0 {
-		return nil, fmt.Errorf("sim: kernel %s does not fit on %s under policy %s",
-			k.Name, cfg.Name, pol.Name())
-	}
-	for i := 0; i < cfg.NumSMs; i++ {
-		sm := newSM(d, i)
-		sm.policy = pol.NewSMState(sm)
-		d.sms = append(d.sms, sm)
-	}
-	// Initial wave: fill every SM up to its residency, round-robin so
-	// CTAs spread evenly across SMs.
-	for more := true; more; {
-		more = false
-		for _, sm := range d.sms {
-			if d.nextCTA >= k.GridCTAs {
-				break
-			}
-			if len(sm.ctas) < ctasPerSM && sm.freeSlots() >= k.WarpsPerCTA() {
-				sm.launchCTA(d.nextCTA)
-				d.emit(Event{Cycle: 0, SM: sm.id, Kind: "cta-launch", Data: d.nextCTA})
-				d.nextCTA++
-				more = true
-			}
-		}
-	}
-	if d.fatalErr != nil {
-		return nil, d.fatalErr
-	}
-	return d, nil
+	return New(DeviceSpec{Config: cfg, Timing: timing, Kernel: k},
+		WithPolicy(pol), WithGlobal(global))
 }
 
 // fail latches the first unrecoverable machine error; Run (or NewDevice,
@@ -147,13 +112,16 @@ func (d *Device) emit(ev Event) {
 	if d.Listener != nil {
 		d.Listener(ev)
 	}
+	if d.obs != nil {
+		d.obs.OnEvent(ev)
+	}
 }
 
 // onCTAComplete is called by an SM when one of its CTAs retires; the
 // dispatcher backfills from the pending grid.
-func (d *Device) onCTAComplete(sm *SM) {
+func (d *Device) onCTAComplete(sm *SM, cta *CTAState) {
 	d.doneCTAs++
-	d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-retire"})
+	d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-retire", Data: cta.ID})
 	if d.multi() {
 		for d.multiBackfill(sm) {
 		}
@@ -224,7 +192,19 @@ type Stats struct {
 	AcquireSuccesses uint64
 	Releases         uint64
 
-	// Stall counters aggregated over warps.
+	// Stall holds the full per-cause scheduler-slot attribution summed
+	// over SMs: exactly one cause is charged per scheduler slot per
+	// cycle, so Stall.Total() == SchedSlots (auditor-checked).
+	Stall StallBreakdown
+
+	// SchedSlots is the scheduler-slot-cycles the run covered:
+	// Cycles × NumSMs × SchedulersPerSM.
+	SchedSlots int64
+
+	// ScoreboardStalls, MemStalls, and AcquireStalls are views into
+	// Stall (kept for existing consumers). They are derived from the
+	// single-cause attribution, so a warp blocked on several hazards in
+	// one cycle is counted once, under the highest-priority cause.
 	ScoreboardStalls int64
 	MemStalls        int64
 	AcquireStalls    int64
@@ -358,8 +338,14 @@ func (d *Device) Run() (Stats, error) {
 			prev = cur
 			nextEpoch = d.now + epoch
 		}
-		if d.Sampler != nil && d.now >= d.nextSample {
-			d.Sampler(d.sample())
+		if (d.Sampler != nil || d.obs != nil) && d.now >= d.nextSample {
+			s := d.sample()
+			if d.Sampler != nil {
+				d.Sampler(s)
+			}
+			if d.obs != nil {
+				d.obs.OnCycleSample(s)
+			}
 			if d.SampleInterval <= 0 {
 				d.SampleInterval = 256
 			}
@@ -386,6 +372,14 @@ func (d *Device) Run() (Stats, error) {
 				continue
 			}
 			idle = 0
+			// The skipped cycles are charged in bulk to the causes the
+			// step just recorded: nothing can change while no SM steps,
+			// so the attribution stays exact (sum == cycles × slots).
+			if skip := next - d.now - 1; skip > 0 {
+				for _, sm := range d.sms {
+					sm.chargeSkipped(skip)
+				}
+			}
 			d.now = next
 			continue
 		}
@@ -490,16 +484,11 @@ func (d *Device) collectStats() Stats {
 	if activeSum > 0 {
 		st.AvgOccupancyWarps = float64(occSum) / float64(activeSum)
 	}
-	for _, sm := range d.sms {
-		st.ScoreboardStalls += sm.retScoreStalls
-		st.MemStalls += sm.retMemStalls
-		st.AcquireStalls += sm.retAcqStalls
-		for _, w := range sm.warps {
-			st.ScoreboardStalls += w.ScoreStalls
-			st.MemStalls += w.MemStalls
-			st.AcquireStalls += w.AcqStalls
-		}
-	}
+	st.Stall = d.Breakdown()
+	st.SchedSlots = st.Stall.Total()
+	st.ScoreboardStalls = st.Stall[CauseScoreboard]
+	st.MemStalls = st.Stall[CauseMemory]
+	st.AcquireStalls = st.Stall[CauseAcquire]
 	return st
 }
 

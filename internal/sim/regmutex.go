@@ -71,14 +71,18 @@ func (s *regmutexState) TryIssue(w *Warp, in *isa.Instr, now int64) bool {
 			// Someone older is queued for the next free section.
 			s.enqueue(w.Widx)
 			s.srp.AcquireAttempts++
+			s.emitFail(now, w.Widx)
 			return false
 		}
 		ok := s.srp.Acquire(w.Widx)
 		if ok {
 			s.dequeue(w.Widx)
 			s.emit(Event{Cycle: now, Kind: "acquire", Warp: w.Widx, Data: s.srp.Section(w.Widx)})
-		} else if s.blocking {
-			s.enqueue(w.Widx)
+		} else {
+			if s.blocking {
+				s.enqueue(w.Widx)
+			}
+			s.emitFail(now, w.Widx)
 		}
 		return ok
 	case isa.OpRel:
@@ -97,6 +101,14 @@ func (s *regmutexState) emit(ev Event) {
 	if s.sm != nil {
 		ev.SM = s.sm.id
 		s.sm.dev.emit(ev)
+	}
+}
+
+// emitFail reports a failed acquire attempt. It fires every retry cycle,
+// so the Event is only built while something is observing.
+func (s *regmutexState) emitFail(now int64, widx int) {
+	if s.sm != nil && s.sm.dev.observing() {
+		s.emit(Event{Cycle: now, Kind: "acquire-fail", Warp: widx, Data: -1})
 	}
 }
 

@@ -73,6 +73,45 @@ func (h *eventHeap) Pop() interface{} {
 type scheduler struct {
 	id   int
 	last *Warp // greedy: keep issuing from the same warp
+
+	// lastRes is the slot's most recent per-cycle attribution; Run
+	// multiplies it over cycles the event-driven fast-forward skips.
+	lastRes slotResult
+}
+
+// slotResult is one scheduler slot's attribution for one cycle: the
+// cause charged and the warp it was charged to (nil for slot-level
+// causes like no-warp/empty).
+type slotResult struct {
+	cause StallCause
+	warp  *Warp
+}
+
+// issueOutcome is why one tryIssue attempt did or did not issue.
+type issueOutcome int8
+
+const (
+	outIssued     issueOutcome = iota
+	outSkip                    // finished / at barrier: not a chargeable stall
+	outScoreboard              // pending register or predicate writeback
+	outSFU                     // SFU port taken this cycle
+	outMem                     // global-memory queue full
+	outPolicy                  // policy gate refused (acquire-wait)
+)
+
+// stallCause maps a failed attempt to its charged cause. Structural
+// back-pressure (memory queue, SFU port) folds into CauseMemory.
+func (o issueOutcome) stallCause() StallCause {
+	switch o {
+	case outScoreboard:
+		return CauseScoreboard
+	case outSFU, outMem:
+		return CauseMemory
+	case outPolicy:
+		return CauseAcquire
+	default:
+		return causeInvalid
+	}
 }
 
 // SM is one streaming multiprocessor.
@@ -101,10 +140,10 @@ type SM struct {
 	rfReads       int64 // register file row reads (warp-wide)
 	rfWrites      int64 // register file row writes
 
-	// Stall counters accumulated from retired warps.
-	retScoreStalls int64
-	retMemStalls   int64
-	retAcqStalls   int64
+	// stalls is the SM's per-cause scheduler-slot attribution: exactly
+	// one cause per scheduler per stepped cycle (skipped cycles charged
+	// in bulk), so its sum is always cycles × SchedulersPerSM.
+	stalls StallBreakdown
 }
 
 func newSM(dev *Device, id int) *SM {
@@ -181,9 +220,6 @@ func (sm *SM) takeSlot() int {
 func (sm *SM) retireCTA(cta *CTAState) {
 	for _, w := range cta.warps {
 		sm.slots[w.Widx] = false
-		sm.retScoreStalls += w.ScoreStalls
-		sm.retMemStalls += w.MemStalls
-		sm.retAcqStalls += w.AcqStalls
 	}
 	for i, c := range sm.ctas {
 		if c == cta {
@@ -234,14 +270,27 @@ func (sm *SM) nextEvent(now int64) int64 {
 }
 
 // step advances the SM by one cycle; returns the number of instructions
-// issued.
+// issued. Every scheduler slot is charged to exactly one StallCause per
+// step (the per-cycle attribution the observability layer is built on).
 func (sm *SM) step(now int64) int {
 	sm.drainMemCompletions(now)
 	sm.sfuThisCycle = 0
 	issued := 0
+	obs := sm.dev.obs
 	for s := range sm.schedulers {
-		if sm.issueOne(&sm.schedulers[s], now) {
+		sched := &sm.schedulers[s]
+		res := sm.issueSlot(sched, now)
+		sched.lastRes = res
+		sm.stalls[res.cause]++
+		if res.warp != nil {
+			res.warp.Stalls[res.cause]++
+		}
+		if res.cause == CauseIssued {
 			issued++
+		}
+		if obs != nil {
+			obs.OnStall(StallSlot{Cycle: now, SM: sm.id, Scheduler: sched.id,
+				Cause: res.cause, Warp: res.warp})
 		}
 	}
 	if len(sm.warps) > 0 {
@@ -252,12 +301,38 @@ func (sm *SM) step(now int64) int {
 	return issued
 }
 
-// issueOne lets one scheduler pick and issue at most one instruction.
-func (sm *SM) issueOne(sched *scheduler, now int64) bool {
+// chargeSkipped replays each slot's last attribution over n cycles the
+// device's event-driven fast-forward skipped (nothing steps during a
+// skip, so the causes cannot change).
+func (sm *SM) chargeSkipped(n int64) {
+	for s := range sm.schedulers {
+		res := sm.schedulers[s].lastRes
+		sm.stalls[res.cause] += n
+		if res.warp != nil {
+			res.warp.Stalls[res.cause] += n
+		}
+	}
+}
+
+// issueSlot lets one scheduler pick and issue at most one instruction
+// and returns the slot's attribution for this cycle. When nothing
+// issues, the charge goes to the first candidate the scheduler tried
+// (the warp it most wanted to run) with that warp's first blocking
+// hazard; slots with no runnable candidate classify as barrier,
+// no-warp, or empty.
+func (sm *SM) issueSlot(sched *scheduler, now int64) slotResult {
 	// Candidate order: greedy (last issued) first, then priority /
 	// oldest-first. Walk candidates until one issues. The tried set is
 	// a bitmask over warp slots (Nw <= 64).
 	var tried uint64
+	charged := slotResult{cause: causeInvalid}
+	note := func(w *Warp, out issueOutcome) {
+		if charged.cause == causeInvalid {
+			if c := out.stallCause(); c != causeInvalid {
+				charged = slotResult{cause: c, warp: w}
+			}
+		}
+	}
 	if sm.dev.Timing.LooseRoundRobin {
 		sched.last = nil // round-robin: no greedy stickiness
 	}
@@ -267,9 +342,11 @@ func (sm *SM) issueOne(sched *scheduler, now int64) bool {
 		sched.last = nil
 	}
 	if sched.last != nil {
-		if sm.tryIssue(sched.last, now) {
-			return true
+		out := sm.tryIssue(sched.last, now)
+		if out == outIssued {
+			return slotResult{cause: CauseIssued, warp: sched.last}
 		}
+		note(sched.last, out)
 		tried |= 1 << uint(sched.last.Widx)
 	}
 	for {
@@ -286,14 +363,38 @@ func (sm *SM) issueOne(sched *scheduler, now int64) bool {
 			}
 		}
 		if pick == nil {
-			return false
+			break
 		}
 		tried |= 1 << uint(pick.Widx)
-		if sm.tryIssue(pick, now) {
+		out := sm.tryIssue(pick, now)
+		if out == outIssued {
 			sched.last = pick
-			return true
+			return slotResult{cause: CauseIssued, warp: pick}
+		}
+		note(pick, out)
+	}
+	if charged.cause != causeInvalid {
+		return charged
+	}
+	return sm.classifyIdleSlot(sched)
+}
+
+// classifyIdleSlot attributes a slot that had no blocked candidate:
+// the SM is empty, every mapped live warp is parked at a barrier, or no
+// live warp maps to the scheduler at all.
+func (sm *SM) classifyIdleSlot(sched *scheduler) slotResult {
+	if len(sm.warps) == 0 {
+		return slotResult{cause: CauseEmpty}
+	}
+	for _, w := range sm.warps {
+		if w.Widx%len(sm.schedulers) != sched.id || w.Finished() {
+			continue
+		}
+		if w.atBarrier {
+			return slotResult{cause: CauseBarrier, warp: w}
 		}
 	}
+	return slotResult{cause: CauseNoWarp}
 }
 
 // better reports whether a should be scheduled before b (policy priority,
@@ -312,40 +413,41 @@ func (sm *SM) better(a, b *Warp) bool {
 	return a.Seq < b.Seq
 }
 
-// tryIssue attempts to issue w's next instruction at cycle now.
-func (sm *SM) tryIssue(w *Warp, now int64) bool {
+// tryIssue attempts to issue w's next instruction at cycle now and
+// reports the outcome: issued, skipped (not a chargeable stall), or the
+// first hazard that blocked the warp. Per-warp stall counters are NOT
+// bumped here — the charging site in step charges exactly one warp per
+// scheduler slot per cycle.
+func (sm *SM) tryIssue(w *Warp, now int64) issueOutcome {
 	if w.Finished() || w.atBarrier {
-		return false
+		return outSkip
 	}
 	pc := w.NextPC()
 	if pc < 0 {
 		sm.onWarpFinished(w)
-		return false
+		return outSkip
 	}
 	in := &w.CTA.kern.Instrs[pc]
 
 	if !w.scoreboardReady(in, now) {
-		w.ScoreStalls++
-		return false
+		return outScoreboard
 	}
 	// Structural hazards.
 	switch isa.ClassOf(in.Op) {
 	case isa.ClassSFU:
 		if sm.sfuThisCycle >= sm.dev.Timing.SFUPortsPerSM {
-			return false
+			return outSFU
 		}
 	case isa.ClassMem:
 		if in.Op == isa.OpLdGlobal || in.Op == isa.OpStGlobal {
 			if sm.memInFlight >= sm.dev.Timing.MaxInFlightMem {
-				w.MemStalls++
-				return false
+				return outMem
 			}
 		}
 	}
 	// Policy gate (acquire/release, OWF locks, RFV allocation).
 	if !sm.policy.TryIssue(w, in, now) {
-		w.AcqStalls++
-		return false
+		return outPolicy
 	}
 
 	// Commit: the instruction issues this cycle.
@@ -407,7 +509,7 @@ func (sm *SM) tryIssue(w *Warp, now int64) bool {
 	if w.top() == nil {
 		sm.onWarpFinished(w)
 	}
-	return true
+	return outIssued
 }
 
 // arriveBarrier parks w until all live warps of its CTA arrive.
@@ -446,6 +548,6 @@ func (sm *SM) onWarpFinished(w *Warp) {
 	}
 	if cta.doneWarps == len(cta.warps) {
 		sm.retireCTA(cta)
-		sm.dev.onCTAComplete(sm)
+		sm.dev.onCTAComplete(sm, cta)
 	}
 }

@@ -41,6 +41,11 @@ func (sm *SM) SlotTaken(i int) bool { return i >= 0 && i < len(sm.slots) && sm.s
 // MemInFlight returns the SM's outstanding global memory requests.
 func (sm *SM) MemInFlight() int { return sm.memInFlight }
 
+// Stalls returns the SM's per-cause scheduler-slot attribution so far.
+// At every point the audit layer can observe (the top of Run's loop and
+// kernel end), its sum equals Now() × SchedulersPerSM exactly.
+func (sm *SM) Stalls() StallBreakdown { return sm.stalls }
+
 // Kernel returns the kernel this CTA belongs to.
 func (c *CTAState) Kernel() *isa.Kernel { return c.kern }
 

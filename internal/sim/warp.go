@@ -50,11 +50,12 @@ type Warp struct {
 	finished  bool
 	retired   bool
 
-	// Per-warp counters.
-	Issued      int64
-	AcqStalls   int64
-	MemStalls   int64
-	ScoreStalls int64
+	// Per-warp counters. Stalls is the warp's share of the per-cycle
+	// scheduler-slot attribution: a warp is charged only on cycles a
+	// scheduler charged its slot to this warp (so per-warp breakdowns
+	// sum to the charged slot-cycles, not to the warp's lifetime).
+	Issued int64
+	Stalls StallBreakdown
 }
 
 func newWarp(k *isa.Kernel, seq, widx int, cta *CTAState, lanes int) *Warp {

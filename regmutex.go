@@ -11,10 +11,16 @@
 //   - Transform runs the RegMutex compiler pass of section III-A:
 //     liveness analysis, extended-set sizing, register index compaction,
 //     and acquire/release injection.
-//   - NewDevice + Run simulate a kernel on a Fermi-class GPU model under
-//     one of the register allocation policies: NewStaticPolicy (the
+//   - New + Run simulate a kernel on a Fermi-class GPU model under one
+//     of the register allocation policies: NewStaticPolicy (the
 //     baseline), NewRegMutexPolicy, NewPairedPolicy (section III-C),
 //     NewOWFPolicy and NewRFVPolicy (the related work of section IV-C).
+//     A DeviceSpec names the machine, timing model, and kernel; options
+//     (WithPolicy, WithGlobal, WithObserver, WithAudit) attach the rest.
+//   - The observability layer (Observer, NewTrace + NewCollector,
+//     WriteChromeTrace, NewMetrics) records per-cycle stall attribution,
+//     structural events, and counters from a run; StallBreakdown in
+//     Stats carries the per-cause scheduler-slot accounting.
 //   - Workloads returns the sixteen Table I applications; the harness
 //     functions (Fig7, Fig8, ...) regenerate each of the paper's tables
 //     and figures.
@@ -22,18 +28,34 @@
 // Quick start:
 //
 //	k, _ := regmutex.ParseAsm(src)
-//	res, _ := regmutex.Transform(k, regmutex.Options{Config: regmutex.GTX480()})
-//	dev, _ := regmutex.NewDevice(regmutex.GTX480(), regmutex.DefaultTiming(),
-//	    res.Kernel, regmutex.NewRegMutexPolicy(regmutex.GTX480()), nil)
+//	cfg := regmutex.GTX480()
+//	res, _ := regmutex.Transform(k, regmutex.Options{Config: cfg})
+//	dev, _ := regmutex.New(
+//	    regmutex.DeviceSpec{Config: cfg, Timing: regmutex.DefaultTiming(), Kernel: res.Kernel},
+//	    regmutex.WithPolicy(regmutex.NewRegMutexPolicy(cfg)))
 //	stats, _ := dev.Run()
+//	fmt.Println(stats.Cycles, stats.Stall)
+//
+// To capture a cycle-level trace of the run, attach a collector before
+// New and export it afterwards:
+//
+//	trace := regmutex.NewTrace(0)
+//	col := regmutex.NewCollector(trace)
+//	dev, _ := regmutex.New(spec, regmutex.WithPolicy(pol), regmutex.WithObserver(col))
+//	stats, _ := dev.Run()
+//	col.Flush(stats.Cycles)
+//	regmutex.WriteChromeTrace(f, trace.Events()) // open f in ui.perfetto.dev
 package regmutex
 
 import (
+	"io"
+
 	"regmutex/internal/asm"
 	"regmutex/internal/core"
 	"regmutex/internal/energy"
 	"regmutex/internal/harness"
 	"regmutex/internal/isa"
+	"regmutex/internal/obs"
 	"regmutex/internal/occupancy"
 	"regmutex/internal/sim"
 	"regmutex/internal/workloads"
@@ -144,23 +166,117 @@ func Prepare(k *Kernel) (*Kernel, error) { return core.Prepare(k) }
 type (
 	// Device is a simulated GPU.
 	Device = sim.Device
+	// DeviceSpec names the machine, timing model, and kernel of a run;
+	// pass it to New with options for everything else.
+	DeviceSpec = sim.DeviceSpec
+	// DeviceOption configures New (WithPolicy, WithGlobal, WithObserver,
+	// WithAudit, WithSampleInterval).
+	DeviceOption = sim.Option
 	// Stats summarises a finished run.
 	Stats = sim.Stats
 	// Timing is the latency/structural model.
 	Timing = sim.Timing
 	// Policy decides how physical registers are allocated.
 	Policy = sim.Policy
-	// DeviceEvent is a coarse notification delivered to Device.Listener
-	// (CTA launches and retirements, extended-set acquires and releases).
+	// DeviceEvent is a coarse structural notification (CTA launches and
+	// retirements, extended-set acquires and releases) delivered to an
+	// attached Observer.
 	DeviceEvent = sim.Event
+	// Sample is a periodic utilisation snapshot delivered to an attached
+	// Observer.
+	Sample = sim.Sample
+)
+
+// The instrumentation surface (see internal/sim and internal/obs).
+type (
+	// Observer receives a run's instrumentation stream: structural
+	// events, utilisation samples, and per-cycle scheduler-slot stall
+	// attribution. Attach one with WithObserver.
+	Observer = sim.Observer
+	// ObserverFuncs adapts plain functions to Observer.
+	ObserverFuncs = sim.ObserverFuncs
+	// StallCause identifies what a scheduler slot spent a cycle on.
+	StallCause = sim.StallCause
+	// StallBreakdown counts scheduler-slot cycles per cause; it sums to
+	// cycles × schedulers exactly.
+	StallBreakdown = sim.StallBreakdown
+	// StallSlot is one scheduler slot's attribution for one cycle.
+	StallSlot = sim.StallSlot
+	// Trace is a bounded ring buffer of structured trace events.
+	Trace = obs.Trace
+	// TraceEvent is one record in a Trace.
+	TraceEvent = obs.TraceEvent
+	// Collector assembles a run's instrumentation into a Trace; attach
+	// with WithObserver and call Flush after Run.
+	Collector = obs.Collector
+	// Metrics is a registry of named counters and gauges.
+	Metrics = obs.Registry
+	// MetricsReport is a snapshot of a Metrics registry, exportable as
+	// JSON or CSV.
+	MetricsReport = obs.MetricsReport
+)
+
+// Scheduler-slot stall causes (see StallCause).
+const (
+	CauseIssued     = sim.CauseIssued
+	CauseScoreboard = sim.CauseScoreboard
+	CauseMemory     = sim.CauseMemory
+	CauseAcquire    = sim.CauseAcquire
+	CauseBarrier    = sim.CauseBarrier
+	CauseNoWarp     = sim.CauseNoWarp
+	CauseEmpty      = sim.CauseEmpty
 )
 
 // DefaultTiming returns the timing model used in the evaluation.
 func DefaultTiming() Timing { return sim.DefaultTiming() }
 
+// New builds a device from the spec and options; this is the canonical
+// constructor. With no WithPolicy option the static baseline is used;
+// with no WithGlobal option a zero-filled heap sized by the kernel is
+// allocated.
+func New(spec DeviceSpec, opts ...DeviceOption) (*Device, error) { return sim.New(spec, opts...) }
+
+// WithPolicy selects the register-allocation policy for New.
+func WithPolicy(p Policy) DeviceOption { return sim.WithPolicy(p) }
+
+// WithGlobal provides the device's global memory contents (the workload
+// input).
+func WithGlobal(g []uint64) DeviceOption { return sim.WithGlobal(g) }
+
+// WithObserver attaches an instrumentation observer; repeat the option
+// to attach several.
+func WithObserver(o Observer) DeviceOption { return sim.WithObserver(o) }
+
+// WithSampleInterval sets how often (in cycles) utilisation samples are
+// delivered to Observer.OnCycleSample.
+func WithSampleInterval(n int64) DeviceOption { return sim.WithSampleInterval(n) }
+
+// NewTrace creates a ring buffer holding up to capacity trace events
+// (capacity <= 0 selects the default of 262144).
+func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
+
+// NewCollector builds a trace collector feeding the given trace.
+func NewCollector(t *Trace) *Collector { return obs.NewCollector(t) }
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteChromeTrace exports trace events as Chrome trace-event JSON,
+// loadable in ui.perfetto.dev and chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// RenderTimeline draws a Figure 2-style text timeline of a trace.
+func RenderTimeline(w io.Writer, events []TraceEvent, width int) {
+	obs.RenderTimeline(w, events, width)
+}
+
 // NewDevice builds a device for the kernel under the given policy; pass a
 // nil policy for the static baseline and nil global memory for a
 // zero-filled heap sized by the kernel.
+//
+// Deprecated: use New with a DeviceSpec and options.
 func NewDevice(cfg Config, t Timing, k *Kernel, pol Policy, global []uint64) (*Device, error) {
 	return sim.NewDevice(cfg, t, k, pol, global)
 }
