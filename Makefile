@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench quick obs-smoke obs-bench
+.PHONY: build test verify bench quick obs-smoke obs-bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,16 @@ test:
 
 # The full gate: compile, vet, the whole test suite under the race
 # detector (the parallel experiment engine's concurrency contract) —
-# stall-attribution conservation tests included — and the observability
-# smoke run (capture a trace, validate the emitted JSON).
+# stall-attribution conservation tests included — the observability
+# smoke run (capture a trace, validate the emitted JSON), and the
+# gpusimd daemon smoke run (boot, serve a job over HTTP, stream its
+# events, drain cleanly on SIGTERM).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) obs-smoke
+	$(MAKE) serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -30,6 +33,12 @@ obs-smoke:
 	$(GO) run ./cmd/gputrace -workload bfs -policy regmutex -trace /tmp/gputrace-smoke.json
 	$(GO) run ./cmd/gputrace -validate /tmp/gputrace-smoke.json
 	rm -f /tmp/gputrace-smoke.json
+
+# Boot the gpusimd daemon on a loopback port, submit a job over real
+# HTTP, stream its SSE events to completion, then SIGTERM-drain; proves
+# the simulation-as-a-service path end to end.
+serve-smoke:
+	$(GO) run ./cmd/gpusimd -selftest
 
 # Price the observability layer: detached (attribution only) vs the full
 # attached collector stack.

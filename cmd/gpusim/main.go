@@ -9,15 +9,20 @@
 //	gpusim kernel.kasm -policy regmutex    # assembly file input
 //	gpusim -w sad -policy all              # compare every policy
 //	gpusim -w bfs -policy all -trace t.json -metrics out/   # observability
+//
+// The exit status is 0 only when every requested policy ran to
+// completion: a row that renders as ERR(<kind>) (deadlock, livelock,
+// invariant violation) makes gpusim exit 1, so CI and the gpusimd
+// daemon detect failed runs without parsing the table.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"regmutex/internal/asm"
-	"regmutex/internal/audit"
 	"regmutex/internal/harness"
 	"regmutex/internal/isa"
 	"regmutex/internal/obs"
@@ -90,85 +95,40 @@ func main() {
 	// and collect in the fixed order so the report (and static's role as
 	// the delta reference) is identical at any -j. The trace ring and
 	// metrics registry are thread-safe, so observed runs fan out too.
-	pool := runpool.New(*jobs)
-	type result struct {
-		st      sim.Stats
-		samples []sim.Sample
-	}
-	futs := make([]*runpool.Future, len(names))
-	for i, name := range names {
-		name := name
-		futs[i] = pool.Submit(func() (any, error) {
-			var r result
-			run, pol, err := harness.PreparePolicy(machine, k, name)
-			if err != nil {
-				return nil, err
-			}
-			var global []uint64
-			if input != nil {
-				global = append([]uint64(nil), input...)
-			}
-			opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global)}
-			if *auditOn {
-				opts = append(opts, sim.WithAudit(audit.Standard(audit.DefaultEvery)))
-			}
+	// RunPolicies + RenderReport is the exact path the gpusimd service
+	// serves, which keeps daemon results byte-identical to this CLI.
+	spec := harness.RunSpec{
+		Machine:  machine,
+		Kernel:   k,
+		Name:     kname,
+		Input:    input,
+		Seed:     *seed,
+		Policies: names,
+		Audit:    *auditOn,
+		Timeline: *timeline,
+		Pool:     runpool.New(*jobs),
+		Observe: func(name string) ([]sim.Option, func(sim.Stats)) {
+			var opts []sim.Option
 			var col *obs.Collector
 			if trace != nil {
 				col = obs.NewCollector(trace)
 				col.Proc = kname + "/" + name
 				opts = append(opts, sim.WithObserver(col))
 			}
-			if *timeline {
-				opts = append(opts,
-					sim.WithSampleInterval(512),
-					sim.WithObserver(sim.ObserverFuncs{
-						Sample: func(s sim.Sample) { r.samples = append(r.samples, s) },
-					}))
+			return opts, func(st sim.Stats) {
+				if col != nil {
+					col.Flush(st.Cycles)
+				}
+				obs.RecordStats(metrics, kname+"/"+name, st)
 			}
-			d, err := sim.New(sim.DeviceSpec{Config: machine, Timing: sim.DefaultTiming(), Kernel: run}, opts...)
-			if err != nil {
-				return nil, err
-			}
-			st, err := d.Run()
-			if err != nil {
-				return nil, err
-			}
-			if col != nil {
-				col.Flush(st.Cycles)
-			}
-			obs.RecordStats(metrics, kname+"/"+name, st)
-			r.st = st
-			return r, nil
-		})
+		},
 	}
-	fmt.Printf("%-10s %12s %12s %10s %10s %10s %12s\n", "policy", "cycles", "instrs", "avg warps", "acq ok%", "IPC/SM", "stalls s/m/a")
-	var baseCycles int64
-	for i, name := range names {
-		v, err := futs[i].Wait()
-		if err != nil {
-			// A wedged or invariant-breaking policy fails its own row;
-			// the other policies still report.
-			fmt.Printf("%-10s %12s  %v\n", name, "ERR("+harness.ErrKind(err)+")", err)
-			continue
-		}
-		r := v.(result)
-		st := r.st
-		if *timeline {
-			printTimeline(machine, name, r.samples)
-		}
-		ipc := float64(st.Instructions) / float64(st.Cycles) / float64(machine.NumSMs)
-		delta := ""
-		if name == "static" {
-			baseCycles = st.Cycles
-		} else if baseCycles > 0 {
-			delta = fmt.Sprintf("  (%+.1f%% vs static)", 100*(float64(st.Cycles)/float64(baseCycles)-1))
-		}
-		stalls := fmt.Sprintf("%dk/%dk/%dk",
-			st.ScoreboardStalls/1000, st.MemStalls/1000, st.AcquireStalls/1000)
-		fmt.Printf("%-10s %12d %12d %10.1f %9.1f%% %10.2f %12s%s\n",
-			name, st.Cycles, st.Instructions, st.AvgOccupancyWarps,
-			100*st.AcquireSuccessRate(), ipc, stalls, delta)
+	rows, _ := harness.RunPolicies(context.Background(), spec)
+	var beforeRow func(harness.PolicyRow)
+	if *timeline {
+		beforeRow = func(r harness.PolicyRow) { printTimeline(machine, r.Policy, r.Samples) }
 	}
+	failed := harness.RenderReport(os.Stdout, machine, rows, beforeRow)
 	if trace != nil {
 		if err := writeTrace(*traceOut, trace); err != nil {
 			fatal(err)
@@ -181,6 +141,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote metrics.json and metrics.csv to %s\n", *metricsDir)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "gpusim: %d of %d polic(y/ies) failed\n", failed, len(rows))
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,210 @@
+// Command gpusimd serves the GPU simulator over HTTP: clients POST jobs
+// (a workload or kasm kernel under one or more register-allocation
+// policies, or a named paperbench experiment), poll or stream their
+// progress, and fetch reports that are byte-identical to the gpusim CLI.
+//
+// Quickstart:
+//
+//	gpusimd -addr :8080 &
+//	curl -s localhost:8080/v1/jobs -d '{"workload":"bfs","policy":"all","quick":true}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -N localhost:8080/v1/jobs/j000001/events     # SSE stream
+//	curl -s localhost:8080/metrics
+//
+// Identical concurrent submissions are deduplicated through the
+// simulator pool's single-flight memo cache; the queue is bounded (429
+// queue_full past the limit) and per-client rate limited. SIGTERM and
+// SIGINT drain gracefully: new submissions get 503, accepted jobs run to
+// completion, then the process exits. With -journal, jobs interrupted by
+// a crash or hard kill are re-queued on the next start.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"regmutex/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent job executors")
+	poolWorkers := flag.Int("pool", 0, "simulation pool workers (0 = all cores)")
+	queueDepth := flag.Int("queue", 64, "max queued jobs before 429 queue_full")
+	memoLimit := flag.Int("memo", 256, "memo cache entries before LRU eviction (0 = unbounded)")
+	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 8, "per-client burst allowance")
+	journal := flag.String("journal", "", "job journal path for crash recovery (empty = off)")
+	drainWait := flag.Duration("drain", 60*time.Second, "max graceful drain time on SIGTERM")
+	selftest := flag.Bool("selftest", false, "start on a loopback port, run a smoke job end-to-end, drain, exit")
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:     *workers,
+		PoolWorkers: *poolWorkers,
+		QueueDepth:  *queueDepth,
+		MemoLimit:   *memoLimit,
+		RatePerSec:  *rate,
+		Burst:       *burst,
+		JournalPath: *journal,
+	}
+	if *selftest {
+		if err := runSelftest(cfg, *drainWait); err != nil {
+			fmt.Fprintf(os.Stderr, "gpusimd: selftest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("gpusimd: selftest ok")
+		return
+	}
+	if err := serve(cfg, *addr, *drainWait, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "gpusimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon until SIGTERM/SIGINT, then drains. When ready is
+// non-nil, the bound listener address is sent on it once accepting.
+func serve(cfg service.Config, addr string, drainWait time.Duration, ready chan<- string) error {
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	svc.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	server := &http.Server{Handler: service.Handler(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+	fmt.Printf("gpusimd: listening on %s (workers %d, queue %d, memo %d)\n",
+		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.MemoLimit)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Printf("gpusimd: %v: draining (max %s)\n", sig, drainWait)
+	}
+
+	// Drain: accepted jobs finish, new submissions see 503. The HTTP
+	// server keeps answering so clients can collect their results, then
+	// shuts down once the service is idle.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	drainErr := svc.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	server.Shutdown(shutCtx)
+	if drainErr != nil {
+		svc.Close() // journalled unfinished jobs replay on restart
+		return drainErr
+	}
+	fmt.Println("gpusimd: drained cleanly")
+	return nil
+}
+
+// runSelftest boots the daemon on a loopback port, drives one job
+// end-to-end over real HTTP (submit, SSE stream, status), then delivers
+// SIGTERM to itself and verifies the drain completes cleanly. It is the
+// `make serve-smoke` payload.
+func runSelftest(cfg service.Config, drainWait time.Duration) error {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(cfg, "127.0.0.1:0", drainWait, ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		return fmt.Errorf("server exited before ready: %v", err)
+	}
+
+	// Submit a quick run job.
+	body := `{"workload":"bfs","policy":"all","scale":8,"sms":2,"client":"selftest"}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	fmt.Printf("gpusimd: selftest submitted %s\n", view.ID)
+
+	// Stream its events until the terminal state arrives.
+	resp, err = http.Get(base + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		return err
+	}
+	events := 0
+	sc := bufio.NewScanner(resp.Body)
+	last := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data:") {
+			events++
+			var ev service.Event
+			if err := json.Unmarshal([]byte(line[5:]), &ev); err != nil {
+				return fmt.Errorf("bad SSE payload %q: %v", line, err)
+			}
+			if ev.Type == "state" {
+				last = ev.State
+			}
+		}
+	}
+	resp.Body.Close()
+	if last != "done" {
+		return fmt.Errorf("job ended %q after %d events, want done", last, events)
+	}
+	fmt.Printf("gpusimd: selftest streamed %d events, job done\n", events)
+
+	// Fetch the result and sanity-check the report.
+	resp, err = http.Get(base + "/v1/jobs/" + view.ID)
+	if err != nil {
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if view.Result == nil || view.Result.Report == "" {
+		return fmt.Errorf("job %s has no report", view.ID)
+	}
+	if view.Result.FailedRows != 0 {
+		return fmt.Errorf("job %s: %d failed rows:\n%s", view.ID, view.Result.FailedRows, view.Result.Report)
+	}
+
+	// Graceful drain via a real signal.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(drainWait + 10*time.Second):
+		return fmt.Errorf("drain did not finish in time")
+	}
+}

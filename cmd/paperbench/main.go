@@ -8,12 +8,17 @@
 //	paperbench -exp fig7       # one experiment
 //	paperbench -quick          # reduced scale for a fast smoke run
 //	paperbench -exp fig7 -quick -trace fig7.json -metrics out/
+//
+// Exit status: 0 when every requested experiment ran cleanly, 1 when an
+// experiment failed outright or any of its rows rendered as ERR(<kind>),
+// 2 for an unknown -exp name.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"regmutex/internal/harness"
@@ -22,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig1,fig2,fig3,storage,fig7,fig8,fig9a,fig9b,fig10,fig11,fig12a,fig12b,fig13,energy,seeds,generality,all")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(harness.ExperimentNames(), ",")+",all")
 	quick := flag.Bool("quick", false, "reduced scale (faster, same shapes)")
 	scale := flag.Int("scale", 0, "explicit grid divisor (overrides -quick)")
 	sms := flag.Int("sms", 0, "override SM count (0 = machine default)")
@@ -61,152 +66,34 @@ func main() {
 		o.Scale = *scale
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	out := os.Stdout
-	start := time.Now()
-	ran := 0
-
-	fail := func(name string, err error) {
-		fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
-		os.Exit(1)
-	}
-
-	if want("table1") {
-		rows, err := harness.Table1(o)
-		if err != nil {
-			fail("table1", err)
-		}
-		harness.PrintTable1(out, rows)
-		ran++
-	}
-	if want("storage") {
-		harness.PrintStorage(out)
-		ran++
-	}
-	if want("fig1") {
-		rows, err := harness.Fig1(o)
-		if err != nil {
-			fail("fig1", err)
-		}
-		harness.PrintFig1(out, rows)
-		ran++
-	}
-	if want("fig2") {
-		tl, err := harness.Fig2()
-		if err != nil {
-			fail("fig2", err)
-		}
-		harness.PrintFig2(out, tl)
-		ran++
-	}
-	if want("fig3") {
-		if err := harness.PrintFig3(out); err != nil {
-			fail("fig3", err)
-		}
-		ran++
-	}
-	if want("fig7") {
-		rows, err := harness.Fig7(o)
-		if err != nil {
-			fail("fig7", err)
-		}
-		harness.PrintFig7(out, rows)
-		ran++
-	}
-	if want("fig8") {
-		rows, err := harness.Fig8(o)
-		if err != nil {
-			fail("fig8", err)
-		}
-		harness.PrintFig8(out, rows)
-		ran++
-	}
-	if want("fig9a") {
-		rows, err := harness.Fig9a(o)
-		if err != nil {
-			fail("fig9a", err)
-		}
-		harness.PrintFig9(out, rows, false)
-		ran++
-	}
-	if want("fig9b") {
-		rows, err := harness.Fig9b(o)
-		if err != nil {
-			fail("fig9b", err)
-		}
-		harness.PrintFig9(out, rows, true)
-		ran++
-	}
-	if want("fig10") || want("fig11") {
-		rows, err := harness.EsSweep(o)
-		if err != nil {
-			fail("fig10/11", err)
-		}
-		if want("fig10") {
-			harness.PrintFig10(out, rows)
-			ran++
-		}
-		if want("fig11") {
-			harness.PrintFig11(out, rows)
-			ran++
-		}
-	}
-	if want("fig12a") {
-		rows, err := harness.Fig12a(o)
-		if err != nil {
-			fail("fig12a", err)
-		}
-		harness.PrintFig12(out, rows, false)
-		ran++
-	}
-	if want("fig12b") {
-		rows, err := harness.Fig12b(o)
-		if err != nil {
-			fail("fig12b", err)
-		}
-		harness.PrintFig12(out, rows, true)
-		ran++
-	}
-	if want("fig13") {
-		rows, err := harness.Fig13(o)
-		if err != nil {
-			fail("fig13", err)
-		}
-		harness.PrintFig13(out, rows)
-		ran++
-	}
-	if want("energy") {
-		rows, err := harness.Energy(o)
-		if err != nil {
-			fail("energy", err)
-		}
-		harness.PrintEnergy(out, rows)
-		ran++
-	}
-	if want("seeds") {
-		rows, err := harness.SeedStability(o, nil)
-		if err != nil {
-			fail("seeds", err)
-		}
-		harness.PrintSeedStability(out, rows)
-		ran++
-	}
-	if want("generality") {
-		rows, err := harness.Generality(o)
-		if err != nil {
-			fail("generality", err)
-		}
-		harness.PrintGenerality(out, rows)
-		ran++
-	}
-	if ran == 0 {
+	if *exp != "all" && !harness.IsExperiment(*exp) {
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	out := os.Stdout
+	start := time.Now()
+	ran, failedRows := 0, 0
+	for _, name := range harness.ExperimentNames() {
+		if *exp != "all" && *exp != name {
+			continue
+		}
+		n, err := harness.RunExperiment(name, o, out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		failedRows += n
+		ran++
 	}
 	hits, misses := pool.CacheStats()
 	fmt.Fprintf(out, "\n[%d experiment(s), scale %d, %s; %d worker(s), %d simulated + %d cached]\n",
 		ran, o.Scale, time.Since(start).Round(time.Millisecond), pool.Workers(), misses, hits)
 
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
 	if o.Trace != nil {
 		if err := writeFile(*traceOut, func(f *os.File) error {
 			return obs.WriteChromeTrace(f, o.Trace.Events())
@@ -232,6 +119,10 @@ func main() {
 			fail("metrics", err)
 		}
 		fmt.Fprintf(out, "wrote %d metrics to %s/metrics.{json,csv}\n", len(report.Metrics), *metricsDir)
+	}
+	if failedRows > 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: %d row(s) failed with ERR\n", failedRows)
+		os.Exit(1)
 	}
 }
 

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -58,6 +59,12 @@ type Options struct {
 	// Metrics, when non-nil, receives every finished run's Stats as
 	// "<workload>/<policy>.*" gauges (see obs.RecordStats).
 	Metrics *obs.Registry
+	// Ctx cancels the experiment: every simulation submitted under these
+	// Options joins the context's single-flight interest group
+	// (runpool.SubmitKeyedCtx), so canceling it aborts in-flight
+	// simulations — unless another live submitter shares them. Nil means
+	// context.Background() (the CLI behavior: never canceled).
+	Ctx context.Context
 }
 
 func (o Options) normalize() Options {
@@ -76,6 +83,9 @@ func (o Options) normalize() Options {
 	if !o.AuditSet {
 		o.Audit = testing.Testing()
 	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	return o
 }
 
@@ -88,8 +98,9 @@ func (o Options) machine(base occupancy.Config) occupancy.Config {
 
 // runOne simulates kernel k under pol on machine cfg with fresh inputs,
 // attaching whatever observability Options asks for (auditor, trace
-// collector, metrics).
-func runOne(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, pol sim.Policy) (sim.Stats, error) {
+// collector, metrics). ctx is the task's single-flight context from the
+// pool: canceling it abandons the simulation mid-run.
+func runOne(ctx context.Context, o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, pol sim.Policy) (sim.Stats, error) {
 	global := w.Input(k, o.Seed)
 	opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global)}
 	if o.Audit {
@@ -106,7 +117,7 @@ func runOne(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kerne
 	if err != nil {
 		return sim.Stats{}, fmt.Errorf("%s: %w", lane, err)
 	}
-	st, err := d.Run()
+	st, err := d.RunContext(ctx)
 	if err != nil {
 		return sim.Stats{}, fmt.Errorf("%s: %w", lane, err)
 	}
@@ -121,6 +132,9 @@ func runOne(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kerne
 // simulator's typed failure classes, or "error" for anything else.
 func ErrKind(err error) string {
 	switch {
+	case errors.Is(err, sim.ErrCanceled), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
 	case errors.Is(err, sim.ErrInvariant):
 		return "invariant"
 	case errors.Is(err, sim.ErrDeadlock):
@@ -136,22 +150,22 @@ func ErrKind(err error) string {
 
 // baselineRun prepares and runs the untouched kernel under static
 // allocation.
-func baselineRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) (sim.Stats, error) {
+func baselineRun(ctx context.Context, o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) (sim.Stats, error) {
 	pre, err := core.Prepare(k)
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	return runOne(o, cfg, w, pre, sim.NewStaticPolicy(cfg))
+	return runOne(ctx, o, cfg, w, pre, sim.NewStaticPolicy(cfg))
 }
 
 // regmutexRun transforms (against target) and runs under the RegMutex
 // policy on machine cfg. Returns the transform result too.
-func regmutexRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, forceEs int) (sim.Stats, *core.Result, error) {
+func regmutexRun(ctx context.Context, o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, forceEs int) (sim.Stats, *core.Result, error) {
 	res, err := core.Transform(k, core.Options{Config: cfg, ForceEs: forceEs})
 	if err != nil {
 		return sim.Stats{}, nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	st, err := runOne(o, cfg, w, res.Kernel, sim.NewRegMutexPolicy(cfg))
+	st, err := runOne(ctx, o, cfg, w, res.Kernel, sim.NewRegMutexPolicy(cfg))
 	if err != nil {
 		return sim.Stats{}, nil, err
 	}
@@ -205,63 +219,69 @@ func (r rmFuture) Wait() (sim.Stats, *core.Result, error) {
 // submitRun schedules runOne through o's pool, memoized under polKey.
 // Policies with parameters must encode them in polKey (e.g. "owf" runs
 // derive |Bs| deterministically from the kernel, so the bare tag is
-// enough for every policy the harness uses).
+// enough for every policy the harness uses). Every submission passes
+// o.Ctx into the pool's single-flight interest group, so canceling the
+// experiment aborts its in-flight simulations.
 func submitRun(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, pol sim.Policy, polKey string) statsFuture {
-	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, polKey), func() (any, error) {
-		st, err := runOne(o, cfg, w, k, pol)
+	f, _ := o.Pool.SubmitKeyedCtx(o.Ctx, runKey(o, cfg, k, polKey), func(ctx context.Context) (any, error) {
+		st, err := runOne(ctx, o, cfg, w, k, pol)
 		if err != nil {
 			return nil, err
 		}
 		return st, nil
-	})}
+	})
+	return statsFuture{f}
 }
 
 // submitBaseline schedules baselineRun (Prepare + static simulation).
 func submitBaseline(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
-	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "static"), func() (any, error) {
-		st, err := baselineRun(o, cfg, w, k)
+	f, _ := o.Pool.SubmitKeyedCtx(o.Ctx, runKey(o, cfg, k, "static"), func(ctx context.Context) (any, error) {
+		st, err := baselineRun(ctx, o, cfg, w, k)
 		if err != nil {
 			return nil, err
 		}
 		return st, nil
-	})}
+	})
+	return statsFuture{f}
 }
 
 // submitRegMutex schedules regmutexRun (transform + simulation); the
 // future also carries the transform result.
 func submitRegMutex(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, forceEs int) rmFuture {
 	key := runKey(o, cfg, k, fmt.Sprintf("regmutex|es=%d", forceEs))
-	return rmFuture{o.Pool.SubmitKeyed(key, func() (any, error) {
-		st, res, err := regmutexRun(o, cfg, w, k, forceEs)
+	f, _ := o.Pool.SubmitKeyedCtx(o.Ctx, key, func(ctx context.Context) (any, error) {
+		st, res, err := regmutexRun(ctx, o, cfg, w, k, forceEs)
 		if err != nil {
 			return nil, err
 		}
 		return rmRun{Stats: st, Res: res}, nil
-	})}
+	})
+	return rmFuture{f}
 }
 
 // submitPaired schedules the paired-warps run: each task performs its own
 // RegMutex transform so tasks stay independent of one another (a pool
 // worker never blocks on a sibling future).
 func submitPaired(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
-	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "paired"), func() (any, error) {
+	f, _ := o.Pool.SubmitKeyedCtx(o.Ctx, runKey(o, cfg, k, "paired"), func(ctx context.Context) (any, error) {
 		res, err := core.Transform(k, core.Options{Config: cfg})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		st, err := runOne(o, cfg, w, res.Kernel, sim.NewPairedPolicy(cfg))
+		st, err := runOne(ctx, o, cfg, w, res.Kernel, sim.NewPairedPolicy(cfg))
 		if err != nil {
 			return nil, err
 		}
 		return st, nil
-	})}
+	})
+	return statsFuture{f}
 }
 
 // submitOWF schedules the OWF comparison run. OWF shares registers above
 // the same |Bs| threshold RegMutex chose, making the comparison
 // apples-to-apples on the split; the task recomputes that split itself.
 func submitOWF(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
-	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "owf"), func() (any, error) {
+	f, _ := o.Pool.SubmitKeyedCtx(o.Ctx, runKey(o, cfg, k, "owf"), func(ctx context.Context) (any, error) {
 		res, err := core.Transform(k, core.Options{Config: cfg})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
@@ -270,27 +290,29 @@ func submitOWF(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Ke
 		if err != nil {
 			return nil, err
 		}
-		st, err := runOne(o, cfg, w, pre, sim.NewOWFPolicy(cfg, res.Split.Bs))
+		st, err := runOne(ctx, o, cfg, w, pre, sim.NewOWFPolicy(cfg, res.Split.Bs))
 		if err != nil {
 			return nil, err
 		}
 		return st, nil
-	})}
+	})
+	return statsFuture{f}
 }
 
 // submitRFV schedules the register-file-virtualization comparison run.
 func submitRFV(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel) statsFuture {
-	return statsFuture{o.Pool.SubmitKeyed(runKey(o, cfg, k, "rfv"), func() (any, error) {
+	f, _ := o.Pool.SubmitKeyedCtx(o.Ctx, runKey(o, cfg, k, "rfv"), func(ctx context.Context) (any, error) {
 		pre, err := core.Prepare(k)
 		if err != nil {
 			return nil, err
 		}
-		st, err := runOne(o, cfg, w, pre, sim.NewRFVPolicy(cfg))
+		st, err := runOne(ctx, o, cfg, w, pre, sim.NewRFVPolicy(cfg))
 		if err != nil {
 			return nil, err
 		}
 		return st, nil
-	})}
+	})
+	return statsFuture{f}
 }
 
 // pct returns the percentage change from base to v: positive = reduction.

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// repoRoot resolves the module root from this file's location so the
+// test can invoke the real gpusim CLI.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestDaemonReportByteIdenticalToCLI proves the acceptance criterion
+// directly: the report a daemon job returns is byte-for-byte the stdout
+// of the gpusim CLI for the same request, because both run through
+// harness.RunPolicies + RenderReport.
+func TestDaemonReportByteIdenticalToCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI; skipped in -short")
+	}
+	root := repoRoot(t)
+	cli := exec.Command("go", "run", "./cmd/gpusim",
+		"-w", "bfs", "-policy", "all", "-scale", "8", "-sms", "2", "-seed", "7")
+	cli.Dir = root
+	cliOut, err := cli.Output()
+	if err != nil {
+		t.Fatalf("gpusim CLI: %v", err)
+	}
+
+	s := newTestService(t, Config{Workers: 1, PoolWorkers: 4})
+	s.Start()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	_, view := postJob(t, ts, `{"workload":"bfs","policy":"all","scale":8,"sms":2,"seed":7}`, "?wait=1")
+	if view.State != StateDone {
+		t.Fatalf("job state = %q (%+v)", view.State, view.Error)
+	}
+	if view.Result.Report != string(cliOut) {
+		t.Fatalf("daemon report differs from CLI stdout:\n--- daemon ---\n%s--- cli ---\n%s",
+			view.Result.Report, cliOut)
+	}
+}
+
+// TestConcurrentSubmissionsDeduplicate drives the daemon with 64
+// concurrent synchronous submissions — 4 distinct requests, 16
+// duplicates of each — and verifies every duplicate set returns an
+// identical report while the single-flight memo cache absorbs the
+// redundancy.
+func TestConcurrentSubmissionsDeduplicate(t *testing.T) {
+	const (
+		distinct = 4
+		dups     = 16
+		total    = distinct * dups
+	)
+	s := newTestService(t, Config{Workers: 8, PoolWorkers: 0, QueueDepth: total})
+	s.Start()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	type outcome struct {
+		group  int
+		status int
+		view   JobView
+		err    error
+	}
+	results := make(chan outcome, total)
+	var wg sync.WaitGroup
+	for g := 0; g < distinct; g++ {
+		for d := 0; d < dups; d++ {
+			wg.Add(1)
+			go func(group int) {
+				defer wg.Done()
+				body := fmt.Sprintf(
+					`{"workload":"bfs","policy":"all","scale":8,"sms":2,"seed":%d,"client":"load"}`,
+					100+group)
+				resp, err := client.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					results <- outcome{group: group, err: err}
+					return
+				}
+				defer resp.Body.Close()
+				var view JobView
+				data, _ := io.ReadAll(resp.Body)
+				if err := json.Unmarshal(data, &view); err != nil {
+					results <- outcome{group: group, err: fmt.Errorf("bad body %q: %v", data, err)}
+					return
+				}
+				results <- outcome{group: group, status: resp.StatusCode, view: view}
+			}(g)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	reports := make(map[int]map[string]int) // group -> report -> count
+	coalesced := 0
+	for out := range results {
+		if out.err != nil {
+			t.Fatalf("group %d: %v", out.group, out.err)
+		}
+		if out.status != http.StatusOK {
+			t.Fatalf("group %d: status %d", out.group, out.status)
+		}
+		if out.view.State != StateDone || out.view.Result == nil {
+			t.Fatalf("group %d: state %q (%+v)", out.group, out.view.State, out.view.Error)
+		}
+		if out.view.Result.FailedRows != 0 {
+			t.Fatalf("group %d: failed rows\n%s", out.group, out.view.Result.Report)
+		}
+		if reports[out.group] == nil {
+			reports[out.group] = map[string]int{}
+		}
+		reports[out.group][out.view.Result.Report]++
+		if out.view.Coalesced {
+			coalesced++
+		}
+	}
+
+	for g, set := range reports {
+		if len(set) != 1 {
+			t.Fatalf("group %d produced %d distinct reports, want 1", g, len(set))
+		}
+		for _, n := range set {
+			if n != dups {
+				t.Fatalf("group %d: %d results, want %d", g, n, dups)
+			}
+		}
+	}
+	// Dedup must have served the bulk of the load: at most the first job
+	// of each group simulates its 5 policies; every other submission is
+	// coalesced onto those flights or their cached results.
+	if coalesced < total-2*distinct {
+		t.Fatalf("only %d/%d jobs coalesced", coalesced, total)
+	}
+	hits, misses := s.pool.CacheStats()
+	if want := int64(distinct * 5); misses > want {
+		t.Fatalf("pool ran %d simulations, want <= %d (hits %d)", misses, want, hits)
+	}
+	t.Logf("served %d jobs with %d simulations, %d cache hits, %d coalesced",
+		total, misses, hits, coalesced)
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler builds the gpusimd HTTP surface over s:
+//
+//	POST   /v1/jobs             submit (202; ?wait=1 blocks for the result,
+//	                            and a client disconnect while waiting
+//	                            cancels the job)
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        job status + result
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events SSE event stream (?since=N resumes)
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             obs metrics report (?format=csv)
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j := s.Job(r.PathValue("id"))
+		if j == nil {
+			writeError(w, &ErrorBody{Code: CodeNotFound, Message: "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, &ErrorBody{Code: CodeNotFound, Message: "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) { handleEvents(s, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		if s.Draining() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": status, "queued": s.QueueLen(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		report := s.Metrics().Snapshot()
+		if r.URL.Query().Get("format") == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			report.WriteCSV(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		report.WriteJSON(w)
+	})
+	return mux
+}
+
+func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &ErrorBody{Code: CodeBadRequest, Message: "bad JSON: " + err.Error()})
+		return
+	}
+	if req.Client == "" {
+		if req.Client = r.Header.Get("X-Client"); req.Client == "" {
+			if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+				req.Client = host
+			} else {
+				req.Client = r.RemoteAddr
+			}
+		}
+	}
+	j, body := s.Submit(req)
+	if body != nil {
+		writeError(w, body)
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, j.View())
+		return
+	}
+	// Synchronous mode: the client's connection owns the job — hanging
+	// up before the result is ready withdraws it (the simulation itself
+	// survives if a coalesced twin still wants it).
+	select {
+	case <-j.Done():
+		writeJSON(w, http.StatusOK, j.View())
+	case <-r.Context().Done():
+		s.Cancel(j.ID)
+	}
+}
+
+func handleEvents(s *Service, w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, &ErrorBody{Code: CodeNotFound, Message: "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &ErrorBody{Code: CodeInternal, Message: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	since, _ := strconv.Atoi(r.URL.Query().Get("since"))
+	for {
+		events, changed := j.EventsSince(since)
+		for _, ev := range events {
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			since = ev.Seq + 1
+			if ev.Type == "state" && terminal(ev.State) {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func statusFor(code string) int {
+	switch code {
+	case CodeBadRequest, CodeParseError, CodeUnknownWorkload, CodeUnknownPolicy, CodeUnknownExperiment:
+		return http.StatusBadRequest
+	case CodeLintRejected:
+		return http.StatusUnprocessableEntity
+	case CodeQueueFull, CodeRateLimited:
+		return http.StatusTooManyRequests
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, body *ErrorBody) {
+	if body.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSec))
+	}
+	writeJSON(w, statusFor(body.Code), map[string]*ErrorBody{"error": body})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

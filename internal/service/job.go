@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// Job is one accepted submission. All mutable state is guarded by mu;
+// the event buffer is append-only and broadcast by closing and replacing
+// the changed channel, so any number of SSE watchers can wait for news
+// without the job tracking them individually.
+type Job struct {
+	ID       string
+	Kind     string
+	Req      SubmitRequest
+	Priority int
+	seq      int64 // queue tiebreaker (FIFO within a priority level)
+
+	cancel context.CancelFunc // cancels this job's interest in its sims
+
+	mu        sync.Mutex
+	state     string
+	coalesced bool
+	err       *ErrorBody
+	result    *JobResult
+	events    []Event
+	changed   chan struct{} // closed on every publish, then replaced
+	done      chan struct{} // closed once the job reaches a terminal state
+}
+
+func newJob(id string, req SubmitRequest, seq int64) *Job {
+	kind := req.Kind
+	if kind == "" {
+		if req.Experiment != "" {
+			kind = "experiment"
+		} else {
+			kind = "run"
+		}
+	}
+	j := &Job{
+		ID:       id,
+		Kind:     kind,
+		Req:      req,
+		Priority: req.Priority,
+		seq:      seq,
+		state:    StateQueued,
+		changed:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	j.events = append(j.events, Event{Seq: 0, Type: "state", State: StateQueued})
+	return j
+}
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// publish appends an event and wakes every watcher.
+func (j *Job) publish(ev Event) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// setState transitions the job, publishing a state event. Terminal
+// states are sticky: once done/failed/canceled the job never moves
+// again (a late cancel on a finished job is a no-op).
+func (j *Job) setState(state string, err *ErrorBody, result *JobResult) bool {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	if err != nil {
+		j.err = err
+	}
+	if result != nil {
+		j.result = result
+	}
+	ev := Event{Seq: len(j.events), Type: "state", State: state}
+	if err != nil {
+		ev.Msg = err.Message
+	}
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	if terminal(state) {
+		close(j.done)
+	}
+	j.mu.Unlock()
+	return true
+}
+
+func (j *Job) setCoalesced() {
+	j.mu.Lock()
+	j.coalesced = true
+	j.mu.Unlock()
+}
+
+// State returns the job's current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// View snapshots the job for JSON serving.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		State:     j.state,
+		Coalesced: j.coalesced,
+		Priority:  j.Priority,
+		Client:    j.Req.Client,
+		Error:     j.err,
+		Result:    j.result,
+	}
+}
+
+// EventsSince returns every event with Seq >= since plus a channel that
+// is closed the next time anything is published — the SSE long-poll
+// primitive. Callers loop: drain events, then wait on the channel.
+func (j *Job) EventsSince(since int) ([]Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	if since < len(j.events) {
+		out = append(out, j.events[since:]...)
+	}
+	return out, j.changed
+}

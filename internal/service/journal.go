@@ -1,0 +1,102 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journal is the service's crash-safety log: one JSONL record per job
+// acceptance and one per finish. On restart, replay returns the accepted
+// jobs with no finish record — exactly the work a crash or SIGKILL (or a
+// SIGTERM that interrupted running sims) left behind, which the service
+// re-queues. Client-canceled and completed jobs have finish records and
+// stay dead.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// journalRecord is one line of the journal file.
+type journalRecord struct {
+	Op  string         `json:"op"` // "accept" | "finish"
+	ID  string         `json:"id"`
+	Req *SubmitRequest `json:"req,omitempty"`   // accept only
+	End string         `json:"state,omitempty"` // finish only
+}
+
+// openJournal reads any existing records at path (tolerating a torn
+// final line from a crash mid-write) and opens the file for appending.
+// An empty path disables journalling.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	var records []journalRecord
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			var rec journalRecord
+			if json.Unmarshal(sc.Bytes(), &rec) != nil {
+				continue // torn tail line
+			}
+			records = append(records, rec)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &journal{f: f}, records, nil
+}
+
+// append writes one record and flushes it to the OS before returning, so
+// an accepted job survives an immediate crash.
+func (j *journal) append(rec journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Close()
+}
+
+// pendingJobs folds a record list into the accepted-but-unfinished set,
+// preserving acceptance order.
+func pendingJobs(records []journalRecord) []journalRecord {
+	finished := make(map[string]bool)
+	for _, rec := range records {
+		if rec.Op == "finish" {
+			finished[rec.ID] = true
+		}
+	}
+	var out []journalRecord
+	for _, rec := range records {
+		if rec.Op == "accept" && !finished[rec.ID] && rec.Req != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client accrues rate
+// tokens per second up to burst, and one submission costs one token.
+// The clock is injectable so tests run without sleeping.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter; rate <= 0 disables limiting.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for client. When refused it also reports how
+// long until a token is available (the Retry-After hint).
+func (l *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}

@@ -1,0 +1,572 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regmutex/internal/asm"
+	"regmutex/internal/core"
+	"regmutex/internal/harness"
+	"regmutex/internal/isa"
+	"regmutex/internal/obs"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/runpool"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// Config tunes one Service instance. Zero values pick sane defaults.
+type Config struct {
+	// Workers is the number of executor goroutines pulling jobs off the
+	// queue (default 2). Each job additionally fans its policies out
+	// through the shared simulation pool.
+	Workers int
+	// PoolWorkers sizes the simulation pool (0 = all cores).
+	PoolWorkers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// beyond it submissions are refused with 429 queue_full. Default 64.
+	QueueDepth int
+	// MemoLimit caps the pool's memo cache entries (LRU eviction);
+	// 0 means unbounded. Default 256.
+	MemoLimit int
+	// RatePerSec and Burst configure per-client admission rate limiting;
+	// RatePerSec <= 0 disables it.
+	RatePerSec float64
+	Burst      int
+	// JournalPath enables crash-safe job persistence ("" = off):
+	// accepted-but-unfinished jobs are re-queued on restart.
+	JournalPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MemoLimit == 0 {
+		c.MemoLimit = 256
+	}
+	return c
+}
+
+// Service is the gpusimd core: admission control in Submit, executor
+// goroutines draining the priority queue, and the shared runpool whose
+// keyed memo cache single-flights identical simulations across jobs.
+type Service struct {
+	cfg     Config
+	pool    *runpool.Pool
+	queue   *jobQueue
+	limiter *rateLimiter
+	journal *journal
+	metrics *obs.Registry
+
+	ctx    context.Context // root: canceled by Close, kills running sims
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int64
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// New builds a Service and replays the journal (if configured): jobs
+// that were accepted but never finished — crash or shutdown victims —
+// are re-queued. Executors don't run until Start, so tests can inspect
+// the replayed queue deterministically.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	jn, records, err := openJournal(cfg.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		pool:    runpool.NewBounded(cfg.PoolWorkers, cfg.MemoLimit),
+		queue:   newJobQueue(cfg.QueueDepth),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst),
+		journal: jn,
+		metrics: obs.NewRegistry(),
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+	}
+	for _, rec := range pendingJobs(records) {
+		j := s.track(rec.ID, *rec.Req)
+		if !s.queue.push(j) {
+			// Replay overflow: more pending jobs than the queue holds.
+			// Fail loudly rather than silently dropping accepted work.
+			j.setState(StateFailed, &ErrorBody{Code: CodeInternal,
+				Message: "journal replay overflowed the queue"}, nil)
+			s.finishRecord(j)
+			continue
+		}
+		s.metrics.Counter("service.jobs_replayed").Inc()
+	}
+	return s, nil
+}
+
+// Start launches the executor goroutines. Idempotent.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.execute(j)
+			}
+		}()
+	}
+}
+
+// track registers a job under an explicit ID (journal replay) and bumps
+// nextID past it so fresh IDs never collide.
+func (s *Service) track(id string, req SubmitRequest) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	var n int64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n >= s.nextID {
+		s.nextID = n + 1
+	}
+	j := newJob(id, req, s.nextID)
+	s.jobs[id] = j
+	return j
+}
+
+// Submit validates and admits one request. The returned ErrorBody is nil
+// on success; its Code tells the HTTP layer which status to send.
+func (s *Service) Submit(req SubmitRequest) (*Job, *ErrorBody) {
+	if s.draining.Load() {
+		return nil, &ErrorBody{Code: CodeDraining, RetryAfterSec: 10,
+			Message: "server is draining; retry against a fresh instance"}
+	}
+	if ok, retry := s.limiter.allow(req.Client); !ok {
+		s.metrics.Counter("service.rejected_rate_limited").Inc()
+		return nil, &ErrorBody{Code: CodeRateLimited,
+			RetryAfterSec: int(retry / time.Second),
+			Message:       fmt.Sprintf("client %q over rate limit", req.Client)}
+	}
+	if body := s.validate(&req); body != nil {
+		s.metrics.Counter("service.rejected_invalid").Inc()
+		return nil, body
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, req, s.nextID)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.journal.append(journalRecord{Op: "accept", ID: id, Req: &req}); err != nil {
+		s.forget(id)
+		return nil, &ErrorBody{Code: CodeInternal, Message: err.Error()}
+	}
+	if !s.queue.push(j) {
+		s.metrics.Counter("service.rejected_queue_full").Inc()
+		s.forget(id)
+		s.finishRecord(j) // balance the accept record
+		return nil, &ErrorBody{Code: CodeQueueFull, RetryAfterSec: 1,
+			Message: fmt.Sprintf("queue full (%d jobs waiting)", s.queue.len())}
+	}
+	s.metrics.Counter("service.jobs_accepted").Inc()
+	return j, nil
+}
+
+func (s *Service) forget(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// validate rejects malformed requests before they consume a queue slot.
+// Kasm sources are assembled, structurally validated, and linted here so
+// a bad kernel costs the client one 4xx, not a simulation.
+func (s *Service) validate(req *SubmitRequest) *ErrorBody {
+	kind := req.Kind
+	if kind == "" {
+		if req.Experiment != "" {
+			kind = "experiment"
+		} else {
+			kind = "run"
+		}
+	}
+	switch kind {
+	case "experiment":
+		if !harness.IsExperiment(req.Experiment) {
+			return &ErrorBody{Code: CodeUnknownExperiment,
+				Message: fmt.Sprintf("unknown experiment %q (want %s)",
+					req.Experiment, strings.Join(harness.ExperimentNames(), " | "))}
+		}
+		return nil
+	case "run":
+		if (req.Workload == "") == (req.Kasm == "") {
+			return &ErrorBody{Code: CodeBadRequest,
+				Message: "run jobs need exactly one of workload or kasm"}
+		}
+		if req.Workload != "" {
+			if _, err := workloads.ByName(req.Workload); err != nil {
+				return &ErrorBody{Code: CodeUnknownWorkload, Message: err.Error()}
+			}
+		} else {
+			if _, body := assembleKasm(req.Kasm, req.AllowLint); body != nil {
+				return body
+			}
+		}
+		for _, p := range resolvePolicies(req) {
+			if !knownPolicy(p) {
+				return &ErrorBody{Code: CodeUnknownPolicy,
+					Message: fmt.Sprintf("unknown policy %q (want %s)",
+						p, strings.Join(harness.PolicyNames, " | "))}
+			}
+		}
+		return nil
+	default:
+		return &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("unknown kind %q", kind)}
+	}
+}
+
+// assembleKasm parses, validates, and lints submitted assembly.
+func assembleKasm(src string, allowLint bool) (*isa.Kernel, *ErrorBody) {
+	k, err := asm.Parse(src)
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeParseError, Message: err.Error()}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}
+	}
+	issues, err := core.Lint(k)
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeBadRequest, Message: err.Error()}
+	}
+	if len(issues) > 0 && !allowLint {
+		msgs := make([]string, len(issues))
+		for i, is := range issues {
+			msgs[i] = is.String()
+		}
+		return nil, &ErrorBody{Code: CodeLintRejected,
+			Message: "kernel rejected by lint (resubmit with allow_lint to run anyway): " +
+				strings.Join(msgs, "; ")}
+	}
+	return k, nil
+}
+
+func knownPolicy(name string) bool {
+	for _, p := range harness.PolicyNames {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+func resolvePolicies(req *SubmitRequest) []string {
+	if len(req.Policies) > 0 {
+		return req.Policies
+	}
+	if req.Policy != "" && req.Policy != "all" {
+		return []string{req.Policy}
+	}
+	return harness.PolicyNames
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Jobs snapshots every tracked job's view.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.View())
+	}
+	return out
+}
+
+// Cancel withdraws a job. A queued job flips straight to canceled; a
+// running job has its context canceled, which releases its simulations
+// within one context-poll stride — well inside a watchdog epoch — unless
+// another live job shares them through the single-flight cache (then the
+// shared run keeps going for the survivor and only this job detaches).
+func (s *Service) Cancel(id string) (*Job, bool) {
+	j := s.Job(id)
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel() // executor observes the cancellation and finishes the job
+	} else if j.setState(StateCanceled, &ErrorBody{Code: CodeCanceled, Message: "canceled while queued"}, nil) {
+		s.metrics.Counter("service.jobs_canceled").Inc()
+		s.finishRecord(j)
+	}
+	return j, true
+}
+
+// finishRecord journals a job's terminal state.
+func (s *Service) finishRecord(j *Job) {
+	s.journal.append(journalRecord{Op: "finish", ID: j.ID, End: j.State()})
+}
+
+// execute runs one job to a terminal state. Shutdown (root context
+// canceled) is the one path that leaves a job unterminated — no finish
+// record is written, so a journalled job is re-queued on restart.
+func (s *Service) execute(j *Job) {
+	if terminal(j.State()) {
+		return // canceled while queued
+	}
+	jctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.setState(StateRunning, nil, nil)
+	s.metrics.Gauge("service.queue_depth").Set(float64(s.queue.len()))
+
+	var result *JobResult
+	var body *ErrorBody
+	if j.Kind == "experiment" {
+		result, body = s.runExperiment(jctx, j)
+	} else {
+		result, body = s.runJob(jctx, j)
+	}
+
+	switch {
+	case jctx.Err() != nil && s.ctx.Err() != nil:
+		// Shutdown kill: leave the job non-terminal and unfinished in
+		// the journal so a restart replays it.
+		return
+	case jctx.Err() != nil:
+		j.setState(StateCanceled, &ErrorBody{Code: CodeCanceled, Message: "canceled by client"}, nil)
+		s.metrics.Counter("service.jobs_canceled").Inc()
+	case body != nil:
+		j.setState(StateFailed, body, nil)
+		s.metrics.Counter("service.jobs_failed").Inc()
+	default:
+		if result.MemoHits > 0 {
+			j.setCoalesced()
+			s.metrics.Counter("service.jobs_coalesced").Inc()
+		}
+		j.setState(StateDone, nil, result)
+		s.metrics.Counter("service.jobs_done").Inc()
+	}
+	s.finishRecord(j)
+}
+
+// runJob executes a policy-comparison job through the exact harness path
+// the gpusim CLI uses, so Report is byte-identical to the CLI's stdout.
+func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, *ErrorBody) {
+	req := j.Req
+	machine := occupancy.GTX480()
+	if req.Half {
+		machine = occupancy.GTX480Half()
+	}
+	if req.SMs > 0 {
+		machine.NumSMs = req.SMs
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	auditOn := req.Kasm != "" // untrusted kernels run audited by default
+	if req.Audit != nil {
+		auditOn = *req.Audit
+	}
+
+	var k *isa.Kernel
+	var input []uint64
+	name := "kernel"
+	if req.Workload != "" {
+		w, err := workloads.ByName(req.Workload)
+		if err != nil {
+			return nil, &ErrorBody{Code: CodeUnknownWorkload, Message: err.Error()}
+		}
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		k = w.Build(scale)
+		input = w.Input(k, seed)
+		name = w.Name
+	} else {
+		var body *ErrorBody
+		if k, body = assembleKasm(req.Kasm, req.AllowLint); body != nil {
+			return nil, body
+		}
+		name = k.Name
+	}
+
+	timing := sim.DefaultTiming()
+	if req.MaxCycles > 0 {
+		timing.MaxCycles = req.MaxCycles
+	}
+	spec := harness.RunSpec{
+		Machine:  machine,
+		Timing:   timing,
+		Kernel:   k,
+		Name:     name,
+		Input:    input,
+		Seed:     seed,
+		Policies: resolvePolicies(&req),
+		Audit:    auditOn,
+		Pool:     s.pool,
+		Observe: func(policy string) ([]sim.Option, func(sim.Stats)) {
+			// Progress samples become SSE events. Only the submission
+			// that actually simulates streams them; jobs coalesced onto
+			// an in-flight run get the result without the play-by-play.
+			opts := []sim.Option{
+				sim.WithSampleInterval(int64(sampleInterval)),
+				sim.WithObserver(sim.ObserverFuncs{
+					Sample: func(smp sim.Sample) { j.publish(sampleEvent(policy, smp)) },
+				}),
+			}
+			return opts, func(st sim.Stats) {
+				obs.RecordStats(s.metrics, name+"/"+policy, st)
+			}
+		},
+	}
+	rows, hits := harness.RunPolicies(ctx, spec)
+	if ctx.Err() != nil {
+		return nil, &ErrorBody{Code: CodeCanceled, Message: ctx.Err().Error()}
+	}
+	var buf bytes.Buffer
+	failed := harness.RenderReport(&buf, machine, rows, nil)
+	result := &JobResult{Report: buf.String(), FailedRows: failed, MemoHits: hits}
+	for _, r := range rows {
+		rv := RowView{Policy: r.Policy}
+		if r.Err != nil {
+			rv.ErrKind, rv.Err = harness.ErrKind(r.Err), r.Err.Error()
+		} else {
+			rv.Cycles = r.Stats.Cycles
+			rv.Instructions = r.Stats.Instructions
+			rv.AvgWarps = r.Stats.AvgOccupancyWarps
+			rv.IPCPerSM = float64(r.Stats.Instructions) / float64(r.Stats.Cycles) / float64(machine.NumSMs)
+		}
+		result.Rows = append(result.Rows, rv)
+	}
+	return result, nil
+}
+
+// sampleInterval spaces progress samples; coarse enough that streaming a
+// long run costs little, fine enough that SSE watchers see regular news.
+const sampleInterval = 4096
+
+// runExperiment executes a named paperbench experiment, with its sweeps
+// fanned through — and deduplicated by — the service pool.
+func (s *Service) runExperiment(ctx context.Context, j *Job) (*JobResult, *ErrorBody) {
+	req := j.Req
+	o := harness.Options{Scale: 1, Pool: s.pool, Ctx: ctx, Metrics: s.metrics}
+	if req.Seed != nil {
+		o.Seed, o.SeedSet = *req.Seed, true
+	} else {
+		o.Seed = 42
+	}
+	if req.Quick {
+		o.Scale, o.NumSMs = 4, 4
+	}
+	if req.Scale > 0 {
+		o.Scale = req.Scale
+	}
+	if req.SMs > 0 {
+		o.NumSMs = req.SMs
+	}
+	if req.Audit != nil {
+		o.Audit, o.AuditSet = *req.Audit, true
+	}
+	hits0, _ := s.pool.CacheStats()
+	var buf bytes.Buffer
+	failed, err := harness.RunExperiment(req.Experiment, o, &buf)
+	if ctx.Err() != nil {
+		return nil, &ErrorBody{Code: CodeCanceled, Message: ctx.Err().Error()}
+	}
+	if err != nil {
+		return nil, &ErrorBody{Code: CodeSimFailed, Kind: harness.ErrKind(err), Message: err.Error()}
+	}
+	hits1, _ := s.pool.CacheStats()
+	return &JobResult{Report: buf.String(), FailedRows: failed, MemoHits: int(hits1 - hits0)}, nil
+}
+
+// Metrics exposes the service registry (sim stats plus service.*
+// counters) for the /metrics endpoint.
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
+// QueueLen reports how many jobs are waiting.
+func (s *Service) QueueLen() int { return s.queue.len() }
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain performs graceful shutdown: refuse new submissions, let every
+// accepted job finish, then stop the executors. It never abandons an
+// accepted job — if ctx expires first, Drain returns an error and the
+// caller decides whether to hard-Close (journalled jobs will be replayed
+// on restart).
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.idle() {
+			s.Close()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %w (%d job(s) unfinished)", ctx.Err(), s.unfinished())
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Service) idle() bool { return s.unfinished() == 0 }
+
+func (s *Service) unfinished() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !terminal(j.State()) {
+			n++
+		}
+	}
+	return n
+}
+
+// Close hard-stops the service: cancel running simulations, stop the
+// executors, close the journal. Jobs interrupted here keep their accept
+// records and are replayed by the next New with the same journal path.
+func (s *Service) Close() {
+	s.draining.Store(true)
+	s.cancel()
+	s.queue.close()
+	s.wg.Wait()
+	s.journal.close()
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 
 	"regmutex/internal/isa"
@@ -280,7 +281,20 @@ func (d *Device) stuckWarps(prev progressSnapshot) int {
 // LivelockEpochs epochs of acquire retries with zero successes and zero
 // warp completions → ErrLivelock), and the flat MaxCycles ceiling. All
 // three return a *DeadlockError carrying the machine snapshot.
-func (d *Device) Run() (Stats, error) {
+func (d *Device) Run() (Stats, error) { return d.RunContext(context.Background()) }
+
+// ctxCheckStride is how many scheduler-loop iterations RunContext lets
+// pass between context polls. Each iteration advances simulated time by
+// at least one cycle, so a canceled run is released within a few thousand
+// cycles of work — orders of magnitude inside one watchdog epoch.
+const ctxCheckStride = 4096
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled
+// the simulation abandons the machine mid-flight and returns a
+// *CanceledError (matching both ErrCanceled and the context's error)
+// instead of simulating on to MaxCycles. A context that can never be
+// canceled costs nothing on the hot path.
+func (d *Device) RunContext(ctx context.Context) (Stats, error) {
 	target := d.Kernel.GridCTAs
 	if d.multi() {
 		target = d.totalCTAs
@@ -298,11 +312,24 @@ func (d *Device) Run() (Stats, error) {
 		livelockEpochs = DefaultLivelockEpochs
 	}
 
+	cancelable := ctx.Done() != nil
+	ctxCountdown := 0
 	idle := int64(0)
 	staleEpochs := 0
 	nextEpoch := d.now + epoch
 	prev := d.snapshotProgress()
 	for d.doneCTAs < target {
+		if cancelable {
+			if ctxCountdown--; ctxCountdown <= 0 {
+				if err := ctx.Err(); err != nil {
+					return Stats{}, &CanceledError{
+						Kernel: d.Kernel.Name, Policy: d.Policy.Name(),
+						Cycle: d.now, Cause: err,
+					}
+				}
+				ctxCountdown = ctxCheckStride
+			}
+		}
 		if d.fatalErr != nil {
 			return Stats{}, d.fatalErr
 		}

@@ -28,7 +28,32 @@ var (
 	// ErrInvariant marks a machine-state invariant violation detected by
 	// an attached audit hook (see internal/audit).
 	ErrInvariant = errors.New("invariant violation")
+
+	// ErrCanceled marks a run abandoned because its context was canceled
+	// (client disconnect, job cancellation, daemon shutdown). The run's
+	// partial state is discarded; re-running the same device is not
+	// supported.
+	ErrCanceled = errors.New("run canceled")
 )
+
+// CanceledError reports where a context-canceled run stopped. It unwraps
+// to both ErrCanceled and the context's own error, so callers can match
+// either errors.Is(err, sim.ErrCanceled) or errors.Is(err,
+// context.Canceled).
+type CanceledError struct {
+	Kernel string
+	Policy string
+	Cycle  int64
+	Cause  error // the context error (context.Canceled or DeadlineExceeded)
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: kernel %s under %s canceled at cycle %d: %v",
+		e.Kernel, e.Policy, e.Cycle, e.Cause)
+}
+
+// Unwrap exposes both the sentinel and the context cause.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
 
 // WedgeKind labels how forward progress was lost.
 type WedgeKind string
