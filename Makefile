@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench quick obs-smoke obs-bench serve-smoke
+.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,8 @@ test:
 # stall-attribution conservation tests included — the observability
 # smoke run (capture a trace, validate the emitted JSON), and the
 # gpusimd daemon smoke run (boot, serve a job over HTTP, stream its
-# events, drain cleanly on SIGTERM).
+# events, verify request-ID + Prometheus telemetry, drain cleanly on
+# SIGTERM).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -21,7 +22,20 @@ verify:
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
 
+# The benchmark-trajectory harness: run the fixed workload×policy
+# simulator matrix plus the gpusimd loopback load phase and write a
+# schema-versioned BENCH_<date>.json at the repo root. Diff two points
+# with `go run ./cmd/benchreg -compare old.json new.json` (non-zero
+# exit on >10% regression).
 bench:
+	$(GO) run ./cmd/benchreg
+
+# CI-sized trajectory point (seconds, not minutes).
+bench-quick:
+	$(GO) run ./cmd/benchreg -quick
+
+# The raw go-test microbenchmarks (the pre-trajectory `bench` target).
+microbench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 quick:
@@ -35,12 +49,16 @@ obs-smoke:
 	rm -f /tmp/gputrace-smoke.json
 
 # Boot the gpusimd daemon on a loopback port, submit a job over real
-# HTTP, stream its SSE events to completion, then SIGTERM-drain; proves
-# the simulation-as-a-service path end to end.
+# HTTP, stream its SSE events to completion, check the telemetry
+# surface (X-Request-Id echo, Prometheus exposition), then SIGTERM-
+# drain; proves the simulation-as-a-service path end to end.
 serve-smoke:
 	$(GO) run ./cmd/gpusimd -selftest
 
-# Price the observability layer: detached (attribution only) vs the full
-# attached collector stack.
+# Price the observability layer: detached (attribution only) vs the
+# full attached collector stack, and the HTTP telemetry middleware
+# (request IDs + histograms + discarded access logs) vs a bare handler
+# — the ≤2% disabled-path budget guard.
 obs-bench:
 	$(GO) test -bench='BenchmarkSim(Detached|Attached)' -benchmem -benchtime=3x ./internal/obs/
+	$(GO) test -bench='BenchmarkMiddleware(Off|On)' -benchmem ./internal/service/

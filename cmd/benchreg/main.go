@@ -1,0 +1,85 @@
+// Command benchreg runs the benchmark-trajectory harness: a fixed
+// workload×policy simulator matrix plus a gpusimd loopback load phase,
+// written as a schema-versioned BENCH_<date>.json so the repo carries a
+// comparable perf trajectory across commits.
+//
+//	benchreg                      # full matrix -> BENCH_<date>.json
+//	benchreg -quick -out b.json   # CI-sized smoke run
+//	benchreg -compare old.json new.json   # exit 1 on >10% regression
+//	benchreg -compare -threshold 0.05 old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regmutex/internal/benchreg"
+	"regmutex/internal/obs"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-sized matrix (seconds, not minutes)")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	jobs := flag.Int("jobs", 0, "loopback load-phase request count (0 = mode default)")
+	compare := flag.Bool("compare", false, "compare two trajectory files: benchreg -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction (0.10 = 10%)")
+	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fail(2, "usage: benchreg -compare [-threshold F] old.json new.json")
+		}
+		old, err := benchreg.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		cur, err := benchreg.ReadFile(flag.Arg(1))
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		regs, err := benchreg.Compare(old, cur, *threshold)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchreg: %d regression(s) beyond %.0f%%:\n", len(regs), 100**threshold)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchreg: no regressions beyond %.0f%% (%s vs %s)\n", 100**threshold, flag.Arg(0), flag.Arg(1))
+		return
+	}
+
+	res, err := benchreg.Run(benchreg.Options{Quick: *quick, Jobs: *jobs, Logger: logger})
+	if err != nil {
+		fail(1, "%v", err)
+	}
+	path := *out
+	if path == "" {
+		path = benchreg.DefaultFilename()
+	}
+	if err := res.WriteFile(path); err != nil {
+		fail(1, "%v", err)
+	}
+	fmt.Printf("benchreg: wrote %s (%d sim cells, %d service jobs, p99 %.1fms, memo hit rate %.0f%%)\n",
+		path, len(res.Sim), res.Service.Jobs, res.Service.Latency.P99, 100*res.Service.MemoHitRate)
+}
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreg: "+format+"\n", args...)
+	os.Exit(code)
+}

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -33,8 +34,17 @@ import (
 	"syscall"
 	"time"
 
+	"regmutex/internal/obs"
 	"regmutex/internal/service"
 )
+
+// options carries the daemon's fully-parsed configuration: the service
+// tuning plus the telemetry surface (structured logger, pprof toggle).
+type options struct {
+	cfg    service.Config
+	logger *slog.Logger
+	pprof  bool
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -46,36 +56,56 @@ func main() {
 	burst := flag.Int("burst", 8, "per-client burst allowance")
 	journal := flag.String("journal", "", "job journal path for crash recovery (empty = off)")
 	drainWait := flag.Duration("drain", 60*time.Second, "max graceful drain time on SIGTERM")
+	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, run a smoke job end-to-end, drain, exit")
 	flag.Parse()
 
-	cfg := service.Config{
-		Workers:     *workers,
-		PoolWorkers: *poolWorkers,
-		QueueDepth:  *queueDepth,
-		MemoLimit:   *memoLimit,
-		RatePerSec:  *rate,
-		Burst:       *burst,
-		JournalPath: *journal,
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpusimd: %v\n", err)
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpusimd: %v\n", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "gpusimd")
+
+	o := options{
+		cfg: service.Config{
+			Workers:     *workers,
+			PoolWorkers: *poolWorkers,
+			QueueDepth:  *queueDepth,
+			MemoLimit:   *memoLimit,
+			RatePerSec:  *rate,
+			Burst:       *burst,
+			JournalPath: *journal,
+			Logger:      logger,
+		},
+		logger: logger,
+		pprof:  *pprofOn,
 	}
 	if *selftest {
-		if err := runSelftest(cfg, *drainWait); err != nil {
+		if err := runSelftest(o, *drainWait); err != nil {
 			fmt.Fprintf(os.Stderr, "gpusimd: selftest: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println("gpusimd: selftest ok")
 		return
 	}
-	if err := serve(cfg, *addr, *drainWait, nil); err != nil {
-		fmt.Fprintf(os.Stderr, "gpusimd: %v\n", err)
+	if err := serve(o, *addr, *drainWait, nil); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
 // serve runs the daemon until SIGTERM/SIGINT, then drains. When ready is
 // non-nil, the bound listener address is sent on it once accepting.
-func serve(cfg service.Config, addr string, drainWait time.Duration, ready chan<- string) error {
-	svc, err := service.New(cfg)
+func serve(o options, addr string, drainWait time.Duration, ready chan<- string) error {
+	svc, err := service.New(o.cfg)
 	if err != nil {
 		return err
 	}
@@ -86,11 +116,17 @@ func serve(cfg service.Config, addr string, drainWait time.Duration, ready chan<
 		svc.Close()
 		return err
 	}
-	server := &http.Server{Handler: service.Handler(svc)}
+	server := &http.Server{Handler: service.Handler(svc,
+		service.WithAccessLog(o.logger),
+		service.WithPprof(o.pprof))}
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
-	fmt.Printf("gpusimd: listening on %s (workers %d, queue %d, memo %d)\n",
-		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.MemoLimit)
+	o.logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"workers", o.cfg.Workers,
+		"queue", o.cfg.QueueDepth,
+		"memo", o.cfg.MemoLimit,
+		"pprof", o.pprof)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -102,7 +138,7 @@ func serve(cfg service.Config, addr string, drainWait time.Duration, ready chan<
 		svc.Close()
 		return err
 	case sig := <-sigc:
-		fmt.Printf("gpusimd: %v: draining (max %s)\n", sig, drainWait)
+		o.logger.Info("draining", "signal", sig.String(), "max_wait", drainWait.String())
 	}
 
 	// Drain: accepted jobs finish, new submissions see 503. The HTTP
@@ -118,18 +154,19 @@ func serve(cfg service.Config, addr string, drainWait time.Duration, ready chan<
 		svc.Close() // journalled unfinished jobs replay on restart
 		return drainErr
 	}
-	fmt.Println("gpusimd: drained cleanly")
+	o.logger.Info("drained cleanly")
 	return nil
 }
 
 // runSelftest boots the daemon on a loopback port, drives one job
 // end-to-end over real HTTP (submit, SSE stream, status), then delivers
 // SIGTERM to itself and verifies the drain completes cleanly. It is the
-// `make serve-smoke` payload.
-func runSelftest(cfg service.Config, drainWait time.Duration) error {
+// `make serve-smoke` payload. Its stdout lines are stable — structured
+// diagnostics go to stderr via the configured logger.
+func runSelftest(o options, drainWait time.Duration) error {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve(cfg, "127.0.0.1:0", drainWait, ready) }()
+	go func() { done <- serve(o, "127.0.0.1:0", drainWait, ready) }()
 	var base string
 	select {
 	case addr := <-ready:
@@ -196,6 +233,30 @@ func runSelftest(cfg service.Config, drainWait time.Duration) error {
 	if view.Result.FailedRows != 0 {
 		return fmt.Errorf("job %s: %d failed rows:\n%s", view.ID, view.Result.FailedRows, view.Result.Report)
 	}
+
+	// Telemetry surface: responses carry request IDs (inbound honored)
+	// and the Prometheus exposition includes the route histograms.
+	req, _ := http.NewRequest("GET", base+"/metrics?format=prometheus", nil)
+	req.Header.Set("X-Request-Id", "selftest-rid-1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	promText := new(strings.Builder)
+	sc = bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		promText.WriteString(sc.Text() + "\n")
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "selftest-rid-1" {
+		return fmt.Errorf("X-Request-Id = %q, want the inbound value echoed", got)
+	}
+	for _, want := range []string{"# TYPE http_latency_metrics histogram", "service_jobs_accepted", "job_e2e_seconds_bucket"} {
+		if !strings.Contains(promText.String(), want) {
+			return fmt.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+	fmt.Println("gpusimd: selftest telemetry ok")
 
 	// Graceful drain via a real signal.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

@@ -1,0 +1,370 @@
+// Package benchreg is the benchmark-trajectory harness behind `make
+// bench` and cmd/benchreg: it measures the simulator's throughput over
+// a fixed workload×policy matrix, load-tests the gpusimd service path
+// over loopback HTTP, and writes the numbers as a schema-versioned
+// BENCH_<date>.json so successive commits accumulate a comparable
+// trajectory. Compare diffs two trajectory files and reports metric
+// regressions beyond a threshold — the CI tripwire against silently
+// slowing the hot path.
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"regmutex/internal/harness"
+	"regmutex/internal/obs"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/service"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// SchemaVersion stamps every trajectory file; Compare refuses to diff
+// across versions so a schema change can't masquerade as a regression.
+const SchemaVersion = 1
+
+// Result is one trajectory point: everything a BENCH_<date>.json holds.
+type Result struct {
+	SchemaVersion int           `json:"schema_version"`
+	Date          string        `json:"date"`
+	GoVersion     string        `json:"go_version"`
+	Quick         bool          `json:"quick"`
+	Sim           []SimPoint    `json:"sim"`
+	Service       *ServicePoint `json:"service,omitempty"`
+}
+
+// SimPoint is one workload×policy cell of the simulator matrix.
+type SimPoint struct {
+	Workload     string  `json:"workload"`
+	Policy       string  `json:"policy"`
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	// CyclesPerSec is the headline throughput: simulated cycles per
+	// wall-clock second (the "fast as the hardware allows" number).
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+}
+
+// ServicePoint summarizes the gpusimd loopback load phase.
+type ServicePoint struct {
+	Jobs        int       `json:"jobs"`
+	WallSeconds float64   `json:"wall_seconds"`
+	JobsPerSec  float64   `json:"jobs_per_sec"`
+	MemoHitRate float64   `json:"memo_hit_rate"`
+	Latency     Quantiles `json:"latency_ms"`
+}
+
+// Quantiles is a latency distribution summary in milliseconds.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Options tunes a harness run.
+type Options struct {
+	// Quick shrinks the matrix and grids for CI smoke (seconds, not
+	// minutes); the file records which mode produced it and Compare
+	// refuses to mix them.
+	Quick bool
+	// Workloads and Policies override the matrix (nil = mode default).
+	Workloads []string
+	Policies  []string
+	// Jobs is the loopback load-phase request count (0 = mode default).
+	Jobs int
+	// Logger narrates phases; nil discards.
+	Logger *slog.Logger
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Logger == nil {
+		return obs.NopLogger()
+	}
+	return o.Logger.With("component", "benchreg")
+}
+
+func (o Options) matrix() (workloadNames, policies []string, scale, sms int) {
+	workloadNames, policies = o.Workloads, o.Policies
+	if o.Quick {
+		if workloadNames == nil {
+			workloadNames = []string{"bfs", "sad"}
+		}
+		if policies == nil {
+			policies = []string{"static", "regmutex"}
+		}
+		return workloadNames, policies, 8, 2
+	}
+	if workloadNames == nil {
+		workloadNames = []string{"bfs", "sad", "dwt2d", "spmv"}
+	}
+	if policies == nil {
+		policies = harness.PolicyNames
+	}
+	return workloadNames, policies, 2, 4
+}
+
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	if o.Quick {
+		return 24
+	}
+	return 64
+}
+
+// Run executes both phases and assembles the trajectory point.
+func Run(o Options) (*Result, error) {
+	res := &Result{
+		SchemaVersion: SchemaVersion,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		Quick:         o.Quick,
+	}
+	log := o.logger()
+	workloadNames, policies, scale, sms := o.matrix()
+	log.Info("sim phase", "workloads", len(workloadNames), "policies", len(policies), "scale", scale, "sms", sms)
+	sims, err := runSimPhase(workloadNames, policies, scale, sms)
+	if err != nil {
+		return nil, err
+	}
+	res.Sim = sims
+
+	jobs := o.jobs()
+	log.Info("service phase", "jobs", jobs)
+	svc, err := runServicePhase(jobs, o.Quick)
+	if err != nil {
+		return nil, err
+	}
+	res.Service = svc
+	return res, nil
+}
+
+// runSimPhase measures each matrix cell serially (wall-clock per cell
+// must not be polluted by sibling cells competing for cores) on a
+// single-flight-free path: every cell is a distinct simulation.
+func runSimPhase(workloadNames, policies []string, scale, sms int) ([]SimPoint, error) {
+	machine := occupancy.GTX480()
+	machine.NumSMs = sms
+	var out []SimPoint
+	for _, wname := range workloadNames {
+		w, err := workloads.ByName(wname)
+		if err != nil {
+			return nil, fmt.Errorf("benchreg matrix: %w", err)
+		}
+		k := w.Build(scale)
+		for _, pname := range policies {
+			run, pol, err := harness.PreparePolicy(machine, k, pname)
+			if err != nil {
+				return nil, err
+			}
+			d, err := sim.New(sim.DeviceSpec{Config: machine, Timing: sim.DefaultTiming(), Kernel: run},
+				sim.WithPolicy(pol), sim.WithGlobal(w.Input(k, 42)))
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			st, err := d.Run()
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", wname, pname, err)
+			}
+			if wall <= 0 {
+				wall = 1e-9
+			}
+			out = append(out, SimPoint{
+				Workload:     wname,
+				Policy:       pname,
+				Cycles:       st.Cycles,
+				Instructions: st.Instructions,
+				WallSeconds:  wall,
+				CyclesPerSec: float64(st.Cycles) / wall,
+				InstrsPerSec: float64(st.Instructions) / wall,
+			})
+		}
+	}
+	return out, nil
+}
+
+// runServicePhase boots a real gpusimd service on a loopback listener,
+// fires concurrent ?wait=1 submissions (with deliberate duplicates so
+// the memo cache sees hits), and reads the latency distribution from
+// the client side plus the hit rate from the service registry.
+func runServicePhase(jobs int, quick bool) (*ServicePoint, error) {
+	svc, err := service.New(service.Config{Workers: 4, QueueDepth: jobs + 8})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	svc.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	server := &http.Server{Handler: service.Handler(svc)}
+	go server.Serve(ln)
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+
+	scale, sms := 4, 4
+	if quick {
+		scale, sms = 8, 2
+	}
+	// 4 distinct request shapes cycled across the load: duplicates
+	// coalesce in the memo cache, so the measured hit rate is real.
+	bodies := make([]string, 4)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(
+			`{"workload":"bfs","policy":"static","scale":%d,"sms":%d,"seed":%d,"client":"benchreg"}`,
+			scale, sms, i)
+	}
+
+	var lat obs.Histogram
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	sem := make(chan struct{}, 8)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json",
+				strings.NewReader(bodies[i%len(bodies)]))
+			if err == nil {
+				var view service.JobView
+				json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if view.State != service.StateDone {
+					err = fmt.Errorf("job %s ended %q (%+v)", view.ID, view.State, view.Error)
+				}
+			}
+			lat.Observe(time.Since(t0).Seconds())
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, fmt.Errorf("benchreg load phase: %w", firstErr)
+	}
+
+	svc.RefreshGauges()
+	hitRate, _ := svc.Metrics().Snapshot().Get("service.memo_hit_rate")
+	s := lat.Snapshot()
+	return &ServicePoint{
+		Jobs:        jobs,
+		WallSeconds: wall,
+		JobsPerSec:  float64(jobs) / wall,
+		MemoHitRate: hitRate,
+		Latency: Quantiles{
+			Count: s.Count,
+			P50:   s.Quantile(0.50) * 1000,
+			P90:   s.Quantile(0.90) * 1000,
+			P99:   s.Quantile(0.99) * 1000,
+			Max:   s.Max * 1000,
+		},
+	}, nil
+}
+
+// WriteFile persists the result as indented JSON.
+func (r *Result) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and schema-checks a trajectory file.
+func ReadFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.SchemaVersion == 0 {
+		return nil, fmt.Errorf("%s: missing schema_version", path)
+	}
+	return &r, nil
+}
+
+// DefaultFilename names a trajectory file for today: BENCH_<date>.json.
+func DefaultFilename() string {
+	return "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+}
+
+// Compare diffs two trajectory points and lists every regression beyond
+// threshold (a fraction: 0.10 = 10%). Throughput metrics regress by
+// dropping, latency metrics by rising. Cells present in old but missing
+// from new count as regressions — a benchmark silently vanishing must
+// not pass. Returns an error when the files are structurally
+// incomparable (schema or mode mismatch).
+func Compare(old, new_ *Result, threshold float64) ([]string, error) {
+	if old.SchemaVersion != new_.SchemaVersion {
+		return nil, fmt.Errorf("schema mismatch: old v%d vs new v%d", old.SchemaVersion, new_.SchemaVersion)
+	}
+	if old.Quick != new_.Quick {
+		return nil, fmt.Errorf("mode mismatch: old quick=%v vs new quick=%v", old.Quick, new_.Quick)
+	}
+	var regs []string
+	lowerIsWorse := func(metric string, oldV, newV float64) {
+		if oldV > 0 && newV < oldV*(1-threshold) {
+			regs = append(regs, fmt.Sprintf("%s: %.4g -> %.4g (-%.1f%%, budget %.0f%%)",
+				metric, oldV, newV, 100*(1-newV/oldV), 100*threshold))
+		}
+	}
+	higherIsWorse := func(metric string, oldV, newV float64) {
+		if oldV > 0 && newV > oldV*(1+threshold) {
+			regs = append(regs, fmt.Sprintf("%s: %.4g -> %.4g (+%.1f%%, budget %.0f%%)",
+				metric, oldV, newV, 100*(newV/oldV-1), 100*threshold))
+		}
+	}
+
+	newSim := map[string]SimPoint{}
+	for _, p := range new_.Sim {
+		newSim[p.Workload+"/"+p.Policy] = p
+	}
+	for _, op := range old.Sim {
+		key := op.Workload + "/" + op.Policy
+		np, ok := newSim[key]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("sim %s: benchmark missing from new result", key))
+			continue
+		}
+		lowerIsWorse("sim "+key+" cycles_per_sec", op.CyclesPerSec, np.CyclesPerSec)
+	}
+	if old.Service != nil {
+		if new_.Service == nil {
+			regs = append(regs, "service phase missing from new result")
+		} else {
+			lowerIsWorse("service jobs_per_sec", old.Service.JobsPerSec, new_.Service.JobsPerSec)
+			higherIsWorse("service latency_p99_ms", old.Service.Latency.P99, new_.Service.Latency.P99)
+		}
+	}
+	return regs, nil
+}

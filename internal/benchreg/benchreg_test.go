@@ -1,0 +1,184 @@
+package benchreg
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func point(cyclesPerSec, jobsPerSec, p99 float64) *Result {
+	return &Result{
+		SchemaVersion: SchemaVersion,
+		Date:          "2026-08-06",
+		Quick:         true,
+		Sim: []SimPoint{
+			{Workload: "bfs", Policy: "static", Cycles: 1000, WallSeconds: 1, CyclesPerSec: cyclesPerSec},
+			{Workload: "bfs", Policy: "regmutex", Cycles: 1000, WallSeconds: 1, CyclesPerSec: 2 * cyclesPerSec},
+		},
+		Service: &ServicePoint{
+			Jobs: 24, JobsPerSec: jobsPerSec,
+			Latency: Quantiles{Count: 24, P50: p99 / 2, P99: p99, Max: p99 * 1.5},
+		},
+	}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	old := point(1e6, 10, 50)
+	// Noise well inside the 10% budget, in both directions.
+	cur := point(0.95e6, 10.5, 52)
+	regs, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareDetectsInjectedRegressions(t *testing.T) {
+	old := point(1e6, 10, 50)
+
+	// Injected sim throughput collapse: 40% slower.
+	slow := point(0.6e6, 10, 50)
+	regs, err := Compare(old, slow, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 || !strings.Contains(regs[0], "cycles_per_sec") {
+		t.Fatalf("sim regression not detected: %v", regs)
+	}
+
+	// Injected tail-latency blowup.
+	laggy := point(1e6, 10, 200)
+	regs, err = Compare(old, laggy, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "latency_p99_ms") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("latency regression not detected: %v", regs)
+	}
+
+	// Injected throughput drop on the service side.
+	slowSvc := point(1e6, 5, 50)
+	regs, err = Compare(old, slowSvc, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 || !strings.Contains(regs[0], "jobs_per_sec") {
+		t.Fatalf("service throughput regression not detected: %v", regs)
+	}
+
+	// A benchmark cell silently vanishing is itself a regression.
+	missing := point(1e6, 10, 50)
+	missing.Sim = missing.Sim[:1]
+	regs, err = Compare(old, missing, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("missing cell not detected: %v", regs)
+	}
+}
+
+func TestCompareRefusesIncomparable(t *testing.T) {
+	old := point(1e6, 10, 50)
+	newer := point(1e6, 10, 50)
+	newer.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(old, newer, 0.10); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	full := point(1e6, 10, 50)
+	full.Quick = false
+	if _, err := Compare(old, full, 0.10); err == nil {
+		t.Fatal("quick-vs-full comparison accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	old := point(1e6, 10, 50)
+	if err := old.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || len(got.Sim) != 2 || got.Service == nil {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	if got.Sim[0].CyclesPerSec != 1e6 || got.Service.Latency.P99 != 50 {
+		t.Fatalf("values changed in round trip: %+v", got)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestDefaultFilename(t *testing.T) {
+	name := DefaultFilename()
+	if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") || len(name) != len("BENCH_2026-08-06.json") {
+		t.Fatalf("unexpected trajectory filename %q", name)
+	}
+}
+
+// TestRunQuickEndToEnd runs the real harness in its smallest shape —
+// one cell, a few loopback jobs — and checks the trajectory point is
+// coherent. This is the `benchreg -quick` path CI exercises.
+func TestRunQuickEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	res, err := Run(Options{
+		Quick:     true,
+		Workloads: []string{"bfs"},
+		Policies:  []string{"static"},
+		Jobs:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemaVersion != SchemaVersion || res.Date == "" || res.GoVersion == "" {
+		t.Fatalf("missing stamp fields: %+v", res)
+	}
+	if len(res.Sim) != 1 {
+		t.Fatalf("sim cells = %d, want 1", len(res.Sim))
+	}
+	cell := res.Sim[0]
+	if cell.Cycles <= 0 || cell.CyclesPerSec <= 0 || cell.WallSeconds <= 0 {
+		t.Fatalf("degenerate sim cell: %+v", cell)
+	}
+	svc := res.Service
+	if svc == nil || svc.Jobs != 8 || svc.JobsPerSec <= 0 {
+		t.Fatalf("degenerate service phase: %+v", svc)
+	}
+	if svc.Latency.Count != 8 || svc.Latency.P99 <= 0 || svc.Latency.P50 > svc.Latency.Max {
+		t.Fatalf("incoherent latency summary: %+v", svc.Latency)
+	}
+	// 8 jobs over 4 distinct shapes: at least half must have coalesced.
+	if svc.MemoHitRate < 0.25 {
+		t.Fatalf("memo hit rate %.2f implausibly low for duplicated load", svc.MemoHitRate)
+	}
+	// Round-trip through disk and self-compare: no regression vs self.
+	path := filepath.Join(t.TempDir(), "BENCH_now.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := Compare(res, again, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// ParseLogLevel maps the usual level names (case-insensitive) onto
+// slog levels.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// NewLogger builds the repo's structured logger: slog over w in the
+// given format ("text" or "json") at the given minimum level. Callers
+// attach identity with With — the conventions are component= for
+// subsystems ("http", "service", "benchreg"), job= for job IDs, and
+// request_id= for HTTP request correlation.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want %s|%s)", format, LogText, LogJSON)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default
+// wherever a *slog.Logger is optional, so call sites never nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

@@ -32,20 +32,37 @@ type Gauge struct{ bits uint64 }
 // Set stores v.
 func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
 
+// Add adjusts the gauge by d (atomically; use for up/down quantities
+// like in-flight request counts).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if atomic.CompareAndSwapUint64(&g.bits, old, next) {
+			return
+		}
+	}
+}
+
 // Value reads the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
 
-// Registry is a concurrent registry of named counters and gauges. The
-// zero value is not usable; call NewRegistry.
+// Registry is a concurrent registry of named counters, gauges, and
+// histograms. The zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry builds an empty metrics registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -72,10 +89,43 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use.
+// Concurrent callers racing on the same name always get one shared
+// instance.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Histograms snapshots every registered histogram by name (the
+// bucket-level view WritePrometheus and benchreg need; the flat
+// Snapshot carries only derived quantiles).
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.Lock()
+	hs := make([]*Histogram, 0, len(r.histograms))
+	names := make([]string, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		names = append(names, name)
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(hs))
+	for i, h := range hs {
+		out[names[i]] = h.Snapshot()
+	}
+	return out
+}
+
 // Metric is one snapshotted registry entry.
 type Metric struct {
 	Name  string  `json:"name"`
-	Kind  string  `json:"kind"` // "counter" | "gauge"
+	Kind  string  `json:"kind"` // "counter" | "gauge" | "histogram"
 	Value float64 `json:"value"`
 }
 
@@ -95,6 +145,18 @@ func (r *Registry) Snapshot() MetricsReport {
 	}
 	for name, g := range r.gauges {
 		out.Metrics = append(out.Metrics, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		s := h.Snapshot()
+		add := func(suffix string, v float64) {
+			out.Metrics = append(out.Metrics, Metric{Name: name + suffix, Kind: "histogram", Value: v})
+		}
+		add(".count", float64(s.Count))
+		add(".sum", s.Sum)
+		add(".max", s.Max)
+		add(".p50", s.Quantile(0.50))
+		add(".p90", s.Quantile(0.90))
+		add(".p99", s.Quantile(0.99))
 	}
 	sort.Slice(out.Metrics, func(i, j int) bool { return out.Metrics[i].Name < out.Metrics[j].Name })
 	return out

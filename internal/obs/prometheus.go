@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus exports the registry in Prometheus text exposition
+// format (version 0.0.4). Metric names that are not valid Prometheus
+// identifiers (the repo convention uses "/" and "." liberally, e.g.
+// "bfs/static.cycles") are sanitized character-by-character to "_" and
+// the original name is preserved, escaped, in a `name` label — so no
+// information is lost and two distinct registry names that sanitize to
+// the same identifier stay distinct series. Output is deterministic:
+// families sorted by exposition name, series by original name.
+//
+// Counters and gauges become single samples; histograms expand to the
+// standard cumulative `_bucket{le="..."}` / `_sum` / `_count` triplet
+// (only occupied buckets plus the mandatory le="+Inf" are emitted).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		orig string // original registry name (label when != family name)
+		kind string
+		c    *Counter
+		g    *Gauge
+		h    HistogramSnapshot
+	}
+	r.mu.Lock()
+	families := map[string][]sample{}
+	for name, c := range r.counters {
+		fam := promName(name)
+		families[fam] = append(families[fam], sample{orig: name, kind: "counter", c: c})
+	}
+	for name, g := range r.gauges {
+		fam := promName(name)
+		families[fam] = append(families[fam], sample{orig: name, kind: "gauge", g: g})
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	for name, h := range hists {
+		fam := promName(name)
+		families[fam] = append(families[fam], sample{orig: name, kind: "histogram", h: h.Snapshot()})
+	}
+
+	names := make([]string, 0, len(families))
+	for fam := range families {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].orig < ss[j].orig })
+		// A family's TYPE is declared once; if collisions mixed kinds,
+		// the first (sorted) kind wins and the rest are emitted as
+		// untyped-compatible samples of the same family.
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, ss[0].kind); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			labels := ""
+			if s.orig != fam {
+				labels = `name="` + promEscapeLabel(s.orig) + `"`
+			}
+			var err error
+			switch s.kind {
+			case "counter":
+				err = writePromSample(w, fam, "", labels, float64(s.c.Value()))
+			case "gauge":
+				err = writePromSample(w, fam, "", labels, s.g.Value())
+			case "histogram":
+				err = writePromHistogram(w, fam, labels, s.h)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, fam, labels string, s HistogramSnapshot) error {
+	var cum int64
+	for _, b := range s.NonzeroBuckets() {
+		cum += b.Count
+		le := fmt.Sprintf(`le="%s"`, promFloat(b.UpperBound))
+		if err := writePromSample(w, fam, "_bucket", joinLabels(labels, le), float64(cum)); err != nil {
+			return err
+		}
+	}
+	if err := writePromSample(w, fam, "_bucket", joinLabels(labels, `le="+Inf"`), float64(s.Count)); err != nil {
+		return err
+	}
+	if err := writePromSample(w, fam, "_sum", labels, s.Sum); err != nil {
+		return err
+	}
+	return writePromSample(w, fam, "_count", labels, float64(s.Count))
+}
+
+func writePromSample(w io.Writer, fam, suffix, labels string, v float64) error {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s%s %s\n", fam, suffix, labels, promFloat(v))
+	return err
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// promFloat renders a value the way Prometheus parsers expect.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promName sanitizes a registry name into a valid Prometheus metric
+// identifier ([a-zA-Z_:][a-zA-Z0-9_:]*): every illegal character maps
+// to "_", and a leading digit gets a "_" prefix.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline (in that order, so already-
+// escaped sequences are not re-escaped).
+func promEscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

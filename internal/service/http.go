@@ -3,10 +3,47 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
+
+	"regmutex/internal/obs"
 )
+
+// HandlerOption tunes the HTTP surface built by Handler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	log       *slog.Logger
+	pprof     bool
+	keepalive time.Duration
+}
+
+// WithAccessLog routes structured access logs (one line per request,
+// request-ID correlated) to l. Default: discarded.
+func WithAccessLog(l *slog.Logger) HandlerOption {
+	return func(c *handlerConfig) { c.log = l }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiling endpoints are opt-in on a traffic-serving daemon.
+func WithPprof(on bool) HandlerOption {
+	return func(c *handlerConfig) { c.pprof = on }
+}
+
+// WithSSEKeepalive sets the interval between ": ping" comment frames on
+// idle event streams so proxies and read timeouts don't sever quiet
+// watchers. Default 15s; <= 0 keeps the default.
+func WithSSEKeepalive(d time.Duration) HandlerOption {
+	return func(c *handlerConfig) {
+		if d > 0 {
+			c.keepalive = d
+		}
+	}
+}
 
 // Handler builds the gpusimd HTTP surface over s:
 //
@@ -16,16 +53,32 @@ import (
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        job status + result
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/jobs/{id}/events SSE event stream (?since=N resumes)
-//	GET    /healthz             liveness + drain state
-//	GET    /metrics             obs metrics report (?format=csv)
-func Handler(s *Service) http.Handler {
+//	GET    /v1/jobs/{id}/events SSE event stream (?since=N resumes,
+//	                            ": ping" keepalives while idle)
+//	GET    /healthz             liveness: always 200; body says ok|draining
+//	GET    /readyz              readiness: 503 while draining
+//	GET    /metrics             obs metrics (?format=csv|prometheus)
+//	/debug/pprof/*              profiling, only with WithPprof(true)
+//
+// Every route is wrapped in telemetry middleware: responses carry
+// X-Request-Id (inbound values honored), per-route latency histograms,
+// in-flight and status-class series land in s.Metrics(), and each
+// request emits one structured access-log line.
+func Handler(s *Service, opts ...HandlerOption) http.Handler {
+	cfg := handlerConfig{log: obs.NopLogger(), keepalive: 15 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	in := newInstrument(s.Metrics(), cfg.log)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, in.wrap(route, h))
+	}
+	handle("POST /v1/jobs", "v1_jobs_submit", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
+	handle("GET /v1/jobs", "v1_jobs_list", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Jobs())
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}", "v1_jobs_get", func(w http.ResponseWriter, r *http.Request) {
 		j := s.Job(r.PathValue("id"))
 		if j == nil {
 			writeError(w, &ErrorBody{Code: CodeNotFound, Message: "no such job"})
@@ -33,7 +86,7 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, j.View())
 	})
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/jobs/{id}", "v1_jobs_cancel", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := s.Cancel(r.PathValue("id"))
 		if !ok {
 			writeError(w, &ErrorBody{Code: CodeNotFound, Message: "no such job"})
@@ -41,8 +94,13 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, j.View())
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) { handleEvents(s, w, r) })
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}/events", "v1_jobs_events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(s, w, r, cfg.keepalive)
+	})
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process is up and answering — 200 even while
+		// draining, with a body that says which. Load balancers that must
+		// stop routing use /readyz.
 		status := "ok"
 		if s.Draining() {
 			status = "draining"
@@ -51,16 +109,34 @@ func Handler(s *Service) http.Handler {
 			"status": status, "queued": s.QueueLen(),
 		})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		report := s.Metrics().Snapshot()
-		if r.URL.Query().Get("format") == "csv" {
-			w.Header().Set("Content-Type", "text/csv")
-			report.WriteCSV(w)
+	handle("GET /readyz", "readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		report.WriteJSON(w)
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.RefreshGauges()
+		switch r.URL.Query().Get("format") {
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			s.Metrics().Snapshot().WriteCSV(w)
+		case "prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			s.Metrics().WritePrometheus(w)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			s.Metrics().Snapshot().WriteJSON(w)
+		}
+	})
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -84,6 +160,9 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, body)
 		return
 	}
+	s.logger().Info("job accepted",
+		"job", j.ID, "kind", j.Kind, "client", req.Client,
+		"request_id", RequestID(r.Context()))
 	if r.URL.Query().Get("wait") == "" {
 		writeJSON(w, http.StatusAccepted, j.View())
 		return
@@ -99,14 +178,14 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func handleEvents(s *Service, w http.ResponseWriter, r *http.Request) {
+func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, keepalive time.Duration) {
 	j := s.Job(r.PathValue("id"))
 	if j == nil {
 		writeError(w, &ErrorBody{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	flusher, ok := w.(http.Flusher)
-	if !ok {
+	if !ok || !canFlush(w) {
 		writeError(w, &ErrorBody{Code: CodeInternal, Message: "streaming unsupported"})
 		return
 	}
@@ -114,6 +193,8 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	since, _ := strconv.Atoi(r.URL.Query().Get("since"))
+	ping := time.NewTicker(keepalive)
+	defer ping.Stop()
 	for {
 		events, changed := j.EventsSince(since)
 		for _, ev := range events {
@@ -128,6 +209,11 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 		select {
 		case <-changed:
+		case <-ping.C:
+			// SSE comment frame: ignored by clients, but keeps bytes
+			// moving so idle streams survive proxies and read timeouts.
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}

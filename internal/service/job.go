@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // Job is one accepted submission. All mutable state is guarded by mu;
@@ -21,6 +22,13 @@ type Job struct {
 	mu        sync.Mutex
 	state     string
 	coalesced bool
+	// Lifecycle span anchors: accepted at admission (or journal replay),
+	// started when an executor picks the job up, finished at the terminal
+	// transition. The service folds the spans into the queue-wait / run /
+	// end-to-end histograms.
+	acceptedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
 	err       *ErrorBody
 	result    *JobResult
 	events    []Event
@@ -42,10 +50,11 @@ func newJob(id string, req SubmitRequest, seq int64) *Job {
 		Kind:     kind,
 		Req:      req,
 		Priority: req.Priority,
-		seq:      seq,
-		state:    StateQueued,
-		changed:  make(chan struct{}),
-		done:     make(chan struct{}),
+		seq:        seq,
+		state:      StateQueued,
+		acceptedAt: time.Now(),
+		changed:    make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	j.events = append(j.events, Event{Seq: 0, Type: "state", State: StateQueued})
 	return j
@@ -75,6 +84,9 @@ func (j *Job) setState(state string, err *ErrorBody, result *JobResult) bool {
 		return false
 	}
 	j.state = state
+	if state == StateRunning {
+		j.startedAt = time.Now()
+	}
 	if err != nil {
 		j.err = err
 	}
@@ -89,10 +101,34 @@ func (j *Job) setState(state string, err *ErrorBody, result *JobResult) bool {
 	close(j.changed)
 	j.changed = make(chan struct{})
 	if terminal(state) {
+		j.finishedAt = time.Now()
 		close(j.done)
 	}
 	j.mu.Unlock()
 	return true
+}
+
+// spans reports the job's queue-wait, run, and end-to-end durations.
+// A job canceled while queued never ran: its run span is zero and its
+// queue wait ends at the terminal transition.
+func (j *Job) spans() (queueWait, run, e2e time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finishedAt.IsZero() {
+		return 0, 0, 0
+	}
+	e2e = j.finishedAt.Sub(j.acceptedAt)
+	if j.startedAt.IsZero() {
+		return e2e, 0, e2e
+	}
+	return j.startedAt.Sub(j.acceptedAt), j.finishedAt.Sub(j.startedAt), e2e
+}
+
+// age is how long the job has existed (queue-age gauge input).
+func (j *Job) age(now time.Time) time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return now.Sub(j.acceptedAt)
 }
 
 func (j *Job) setCoalesced() {

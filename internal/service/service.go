@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,9 @@ type Config struct {
 	// JournalPath enables crash-safe job persistence ("" = off):
 	// accepted-but-unfinished jobs are re-queued on restart.
 	JournalPath string
+	// Logger receives structured job-lifecycle logs (accept, finish,
+	// drain) with job IDs for correlation. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +105,24 @@ func New(cfg Config) (*Service, error) {
 		cancel:  cancel,
 		jobs:    make(map[string]*Job),
 	}
+	// Pre-register the admission/lifecycle series so the first scrape
+	// already exposes the full shape, zero-valued.
+	for _, name := range []string{
+		"service.jobs_accepted", "service.jobs_done", "service.jobs_failed",
+		"service.jobs_canceled", "service.jobs_coalesced", "service.jobs_replayed",
+		"service.rejected_rate_limited", "service.rejected_queue_full",
+		"service.rejected_draining", "service.rejected_invalid",
+	} {
+		s.metrics.Counter(name)
+	}
+	for _, name := range []string{
+		"job.queue_wait_seconds", "job.run_seconds", "job.e2e_seconds",
+	} {
+		s.metrics.Histogram(name)
+	}
+	s.metrics.Gauge("service.queue_depth")
+	s.metrics.Gauge("service.queue_oldest_age_seconds")
+	s.metrics.Gauge("service.memo_hit_rate")
 	for _, rec := range pendingJobs(records) {
 		j := s.track(rec.ID, *rec.Req)
 		if !s.queue.push(j) {
@@ -158,6 +180,7 @@ func (s *Service) track(id string, req SubmitRequest) *Job {
 // on success; its Code tells the HTTP layer which status to send.
 func (s *Service) Submit(req SubmitRequest) (*Job, *ErrorBody) {
 	if s.draining.Load() {
+		s.metrics.Counter("service.rejected_draining").Inc()
 		return nil, &ErrorBody{Code: CodeDraining, RetryAfterSec: 10,
 			Message: "server is draining; retry against a fresh instance"}
 	}
@@ -191,7 +214,16 @@ func (s *Service) Submit(req SubmitRequest) (*Job, *ErrorBody) {
 			Message: fmt.Sprintf("queue full (%d jobs waiting)", s.queue.len())}
 	}
 	s.metrics.Counter("service.jobs_accepted").Inc()
+	s.metrics.Gauge("service.queue_depth").Set(float64(s.queue.len()))
 	return j, nil
+}
+
+// logger returns the configured lifecycle logger (never nil).
+func (s *Service) logger() *slog.Logger {
+	if s.cfg.Logger == nil {
+		return obs.NopLogger()
+	}
+	return s.cfg.Logger
 }
 
 func (s *Service) forget(id string) {
@@ -331,9 +363,47 @@ func (s *Service) Cancel(id string) (*Job, bool) {
 	return j, true
 }
 
-// finishRecord journals a job's terminal state.
+// finishRecord journals a job's terminal state and closes out its
+// telemetry: lifecycle spans into the queue-wait/run/e2e histograms and
+// one structured finish log with the measured durations.
 func (s *Service) finishRecord(j *Job) {
 	s.journal.append(journalRecord{Op: "finish", ID: j.ID, End: j.State()})
+	queueWait, run, e2e := j.spans()
+	if e2e <= 0 {
+		return // rollback of a never-admitted job: nothing to measure
+	}
+	s.metrics.Histogram("job.queue_wait_seconds").Observe(queueWait.Seconds())
+	s.metrics.Histogram("job.run_seconds").Observe(run.Seconds())
+	s.metrics.Histogram("job.e2e_seconds").Observe(e2e.Seconds())
+	s.logger().Info("job finished",
+		"subsystem", "service", "job", j.ID, "kind", j.Kind, "state", j.State(),
+		"queue_wait_us", queueWait.Microseconds(),
+		"run_us", run.Microseconds(),
+		"e2e_us", e2e.Microseconds())
+}
+
+// RefreshGauges recomputes the scrape-time gauges that have no natural
+// update event: queue depth, the age of the oldest still-queued job,
+// and the pool's lifetime memo hit rate. The /metrics handler calls it
+// before every snapshot.
+func (s *Service) RefreshGauges() {
+	s.metrics.Gauge("service.queue_depth").Set(float64(s.queue.len()))
+	now := time.Now()
+	var oldest time.Duration
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.State() == StateQueued {
+			if age := j.age(now); age > oldest {
+				oldest = age
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.metrics.Gauge("service.queue_oldest_age_seconds").Set(oldest.Seconds())
+	hits, misses := s.pool.CacheStats()
+	if total := hits + misses; total > 0 {
+		s.metrics.Gauge("service.memo_hit_rate").Set(float64(hits) / float64(total))
+	}
 }
 
 // execute runs one job to a terminal state. Shutdown (root context
