@@ -22,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-sized matrix (seconds, not minutes)")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	jobs := flag.Int("jobs", 0, "loopback load-phase request count (0 = mode default)")
+	par := flag.Int("par", 0, "SM-stepping workers inside each simulation (0 = GOMAXPROCS, 1 = serial; cycle counts identical at any value)")
 	compare := flag.Bool("compare", false, "compare two trajectory files: benchreg -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction (0.10 = 10%)")
 	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
@@ -64,7 +65,7 @@ func main() {
 		return
 	}
 
-	res, err := benchreg.Run(benchreg.Options{Quick: *quick, Jobs: *jobs, Logger: logger})
+	res, err := benchreg.Run(benchreg.Options{Quick: *quick, Jobs: *jobs, Par: *par, Logger: logger})
 	if err != nil {
 		fail(1, "%v", err)
 	}

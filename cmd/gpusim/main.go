@@ -43,6 +43,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print an occupancy / SRP-holders timeline")
 	metricsDir := flag.String("metrics", "", "write metrics.json and metrics.csv into this directory")
 	jobs := flag.Int("j", 0, "policies to simulate concurrently with -policy all (0 = all cores, 1 = serial)")
+	par := flag.Int("par", 0, "SM-stepping workers inside each simulation (0 = GOMAXPROCS, 1 = serial; results identical at any value)")
 	auditOn := flag.Bool("audit", false, "attach the invariant auditor (aborts on the first broken machine invariant)")
 	flag.Parse()
 
@@ -107,6 +108,7 @@ func main() {
 		Audit:    *auditOn,
 		Timeline: *timeline,
 		Pool:     runpool.New(*jobs),
+		Par:      *par,
 		Observe: func(name string) ([]sim.Option, func(sim.Stats)) {
 			var opts []sim.Option
 			var col *obs.Collector

@@ -142,7 +142,7 @@ func faultDemo(class string) int {
 	mem := append([]uint64(nil), input...)
 	d, err := sim.New(sim.DeviceSpec{Config: cfg, Timing: timing, Kernel: kern},
 		sim.WithPolicy(faults.Inject(pol, plan)), sim.WithGlobal(mem),
-		sim.WithAudit(audit.Standard(0)))
+		sim.WithAudit(audit.Standard(0)), sim.WithParallelism(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simfuzz:", err)
 		return 1

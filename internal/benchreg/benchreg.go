@@ -84,6 +84,11 @@ type Options struct {
 	Policies  []string
 	// Jobs is the loopback load-phase request count (0 = mode default).
 	Jobs int
+	// Par is each simulation's intra-run parallelism
+	// (sim.WithParallelism): 0 = GOMAXPROCS, 1 = serial. Simulated
+	// cycle counts are identical at every value; only the wall-clock
+	// (and hence cycles_per_sec) responds to it.
+	Par int
 	// Logger narrates phases; nil discards.
 	Logger *slog.Logger
 }
@@ -136,7 +141,7 @@ func Run(o Options) (*Result, error) {
 	log := o.logger()
 	workloadNames, policies, scale, sms := o.matrix()
 	log.Info("sim phase", "workloads", len(workloadNames), "policies", len(policies), "scale", scale, "sms", sms)
-	sims, err := runSimPhase(workloadNames, policies, scale, sms)
+	sims, err := runSimPhase(workloadNames, policies, scale, sms, o.Par)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +160,7 @@ func Run(o Options) (*Result, error) {
 // runSimPhase measures each matrix cell serially (wall-clock per cell
 // must not be polluted by sibling cells competing for cores) on a
 // single-flight-free path: every cell is a distinct simulation.
-func runSimPhase(workloadNames, policies []string, scale, sms int) ([]SimPoint, error) {
+func runSimPhase(workloadNames, policies []string, scale, sms, par int) ([]SimPoint, error) {
 	machine := occupancy.GTX480()
 	machine.NumSMs = sms
 	var out []SimPoint
@@ -171,7 +176,7 @@ func runSimPhase(workloadNames, policies []string, scale, sms int) ([]SimPoint, 
 				return nil, err
 			}
 			d, err := sim.New(sim.DeviceSpec{Config: machine, Timing: sim.DefaultTiming(), Kernel: run},
-				sim.WithPolicy(pol), sim.WithGlobal(w.Input(k, 42)))
+				sim.WithPolicy(pol), sim.WithGlobal(w.Input(k, 42)), sim.WithParallelism(par))
 			if err != nil {
 				return nil, err
 			}

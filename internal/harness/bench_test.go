@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// BenchmarkSimCell is the end-to-end hot-path regression benchmark: one
+// full device run per iteration, the same bfs cells benchreg's quick
+// matrix measures. Watch allocs/op (the issue loop, watchdog, and event
+// heaps must not allocate per cycle) and cycles_per_sec; the committed
+// BENCH_<date>.json trajectory files gate the latter in CI, this
+// benchmark is for bisecting locally with benchstat. The par=N variants
+// run the identical simulation on the parallel engine — simulated
+// cycles are byte-identical, only wall-clock may differ.
+func BenchmarkSimCell(b *testing.B) {
+	machine := occupancy.GTX480()
+	machine.NumSMs = 2
+	w, err := workloads.ByName("bfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := w.Build(8)
+	for _, pname := range []string{"static", "regmutex"} {
+		run, pol, err := PreparePolicy(machine, k, pname)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/par%d", pname, par), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					d, err := sim.New(
+						sim.DeviceSpec{Config: machine, Timing: sim.DefaultTiming(), Kernel: run},
+						sim.WithPolicy(pol), sim.WithGlobal(w.Input(k, 42)),
+						sim.WithParallelism(par))
+					if err != nil {
+						b.Fatal(err)
+					}
+					st, err := d.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if cycles == 0 {
+						cycles = st.Cycles
+					} else if st.Cycles != cycles {
+						b.Fatalf("cycle count drifted across iterations: %d then %d", cycles, st.Cycles)
+					}
+				}
+				b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+			})
+		}
+	}
+}

@@ -40,6 +40,13 @@ type Options struct {
 	// Jobs caps how many simulations run concurrently when normalize has
 	// to create a pool: 0 = all cores, 1 = the serial path.
 	Jobs int
+	// Par is each simulation's intra-run parallelism (sim.WithParallelism):
+	// values above 1 step SMs on that many workers between deterministic
+	// cycle barriers; 0 picks GOMAXPROCS and 1 forces the serial engine.
+	// Stats are byte-identical at every value, so Par is deliberately
+	// absent from the memo key (runKey) — cached results are shared
+	// across worker counts, mirroring the pool's -j invariance.
+	Par int
 	// Pool fans simulations out across workers and caches results keyed
 	// by (kernel fingerprint, config, policy, seed, timing). Sharing one
 	// pool across experiments (as cmd/paperbench does) lets sweeps reuse
@@ -102,7 +109,7 @@ func (o Options) machine(base occupancy.Config) occupancy.Config {
 // pool: canceling it abandons the simulation mid-run.
 func runOne(ctx context.Context, o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, pol sim.Policy) (sim.Stats, error) {
 	global := w.Input(k, o.Seed)
-	opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global)}
+	opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global), sim.WithParallelism(o.Par)}
 	if o.Audit {
 		opts = append(opts, sim.WithAudit(audit.Standard(audit.DefaultEvery)))
 	}

@@ -47,6 +47,11 @@ type RunSpec struct {
 	// keyed memo cache (single-flight on the kernel fingerprint). Nil
 	// creates a private all-cores pool.
 	Pool *runpool.Pool
+	// Par is each simulation's intra-run parallelism
+	// (sim.WithParallelism). Like Options.Par it is deliberately absent
+	// from the memo key: Stats are byte-identical at every worker count,
+	// so observed and differently-parallel submissions coalesce.
+	Par int
 }
 
 // PolicyRow is one policy's outcome in a comparison run.
@@ -118,7 +123,7 @@ func RunPolicies(ctx context.Context, spec RunSpec) ([]PolicyRow, int) {
 			if spec.Input != nil {
 				global = append([]uint64(nil), spec.Input...)
 			}
-			opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global)}
+			opts := []sim.Option{sim.WithPolicy(pol), sim.WithGlobal(global), sim.WithParallelism(spec.Par)}
 			if spec.Audit {
 				opts = append(opts, sim.WithAudit(audit.Standard(audit.DefaultEvery)))
 			}

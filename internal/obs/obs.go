@@ -24,6 +24,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 
 	"regmutex/internal/sim"
 )
@@ -173,16 +174,41 @@ func (c *Collector) Flush(end int64) {
 	if end <= c.maxCycle {
 		end = c.maxCycle + 1
 	}
-	for key, sp := range c.slots {
-		c.closeSlot(key.sm, key.sched, sp, end)
+	// Map iteration order is randomized; sort the keys so the trace (and
+	// the track → tid assignment the Chrome exporter derives from first
+	// appearance) is byte-identical across runs and worker counts.
+	slotKeys := make([]slotKey, 0, len(c.slots))
+	for key := range c.slots {
+		slotKeys = append(slotKeys, key)
+	}
+	sort.Slice(slotKeys, func(i, j int) bool {
+		a, b := slotKeys[i], slotKeys[j]
+		if a.sm != b.sm {
+			return a.sm < b.sm
+		}
+		return a.sched < b.sched
+	})
+	for _, key := range slotKeys {
+		c.closeSlot(key.sm, key.sched, c.slots[key], end)
 		delete(c.slots, key)
 	}
-	for key, start := range c.ctas {
+	ctaKeys := make([]ctaKey, 0, len(c.ctas))
+	for key := range c.ctas {
+		ctaKeys = append(ctaKeys, key)
+	}
+	sort.Slice(ctaKeys, func(i, j int) bool {
+		a, b := ctaKeys[i], ctaKeys[j]
+		if a.sm != b.sm {
+			return a.sm < b.sm
+		}
+		return a.id < b.id
+	})
+	for _, key := range ctaKeys {
 		// CTAs still resident at abort time render as open-to-end.
 		c.trace.Add(TraceEvent{
 			Name: fmt.Sprintf("CTA %d", key.id), Cat: "cta", Proc: c.proc(),
 			Track: fmt.Sprintf("SM%d CTAs", key.sm),
-			Phase: PhaseSpan, Cycle: start, Dur: end - start,
+			Phase: PhaseSpan, Cycle: c.ctas[key], Dur: end - c.ctas[key],
 		})
 		delete(c.ctas, key)
 	}

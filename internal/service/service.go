@@ -39,6 +39,12 @@ type Config struct {
 	// RatePerSec <= 0 disables it.
 	RatePerSec float64
 	Burst      int
+	// Par is each simulation's intra-run parallelism (harness
+	// RunSpec.Par / sim.WithParallelism): 0 = GOMAXPROCS, 1 = serial.
+	// Results are byte-identical at every value, so jobs submitted to
+	// differently-configured daemons still dedup against each other's
+	// journals and memo keys.
+	Par int
 	// JournalPath enables crash-safe job persistence ("" = off):
 	// accepted-but-unfinished jobs are re-queued on restart.
 	JournalPath string
@@ -508,6 +514,7 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, *ErrorBody) {
 		Policies: resolvePolicies(&req),
 		Audit:    auditOn,
 		Pool:     s.pool,
+		Par:      s.cfg.Par,
 		Observe: func(policy string) ([]sim.Option, func(sim.Stats)) {
 			// Progress samples become SSE events. Only the submission
 			// that actually simulates streams them; jobs coalesced onto

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventHeap is the regression guard for the typed int64
+// min-heap that replaced the container/heap implementation: the old one
+// boxed every push into an interface{}, which made the mem-completion
+// path allocate on every global access. The pattern below mimics that
+// traffic — bursts of pushes (issues) drained from the minimum
+// (completions) — and must report 0 allocs/op.
+func BenchmarkEventHeap(b *testing.B) {
+	b.ReportAllocs()
+	var h eventHeap
+	// Warm capacity outside the measured region so steady-state cost is
+	// what's measured, exactly like a long-running SM's heap.
+	for i := 0; i < 64; i++ {
+		h.push(int64(i))
+	}
+	for len(h) > 0 {
+		h.pop()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := int64(i * 8)
+		for j := int64(0); j < 8; j++ {
+			h.push(base + (j*37)%11) // mildly shuffled deadlines
+		}
+		for len(h) > 4 {
+			h.pop()
+		}
+		for len(h) > 0 {
+			h.pop()
+		}
+	}
+}

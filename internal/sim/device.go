@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"runtime"
 	"strings"
 
 	"regmutex/internal/isa"
@@ -18,6 +19,14 @@ type Device struct {
 	Global []uint64
 	sms    []*SM
 
+	// Par is the worker count for the parallel-across-SMs engine: values
+	// above 1 shard the SMs over min(Par, NumSMs) persistent workers that
+	// step concurrently between cycle barriers; 0 means automatic
+	// (GOMAXPROCS) and 1 forces the serial engine. Both engines produce
+	// byte-identical Stats, traces, and audit results (see DESIGN.md
+	// §11). Set it before Run (or via WithParallelism).
+	Par int
+
 	nextCTA  int
 	doneCTAs int
 	warpSeq  int64
@@ -31,8 +40,9 @@ type Device struct {
 	multiRR   int
 	totalCTAs int
 
-	oobAccesses  int64
-	warpsRetired int64
+	// snapEpoch tags the forward-progress watchdog's per-warp snapshots
+	// (see markWarpProgress); it replaces the per-check map allocation.
+	snapEpoch uint64
 
 	// fatalErr latches the first unrecoverable machine error (e.g. a
 	// warp-slot accounting violation); Run surfaces it.
@@ -102,7 +112,9 @@ func NewDevice(cfg occupancy.Config, timing Timing, k *isa.Kernel, pol Policy, g
 }
 
 // fail latches the first unrecoverable machine error; Run (or NewDevice,
-// for launch-time failures) surfaces it to the caller.
+// for launch-time failures) surfaces it to the caller. It is only called
+// from barrier-serialized paths (CTA launch/retire), never from inside a
+// worker's step.
 func (d *Device) fail(err error) {
 	if d.fatalErr == nil {
 		d.fatalErr = err
@@ -118,8 +130,9 @@ func (d *Device) emit(ev Event) {
 	}
 }
 
-// onCTAComplete is called by an SM when one of its CTAs retires; the
-// dispatcher backfills from the pending grid.
+// onCTAComplete runs at the cycle-end barrier for each CTA that retired
+// this cycle (in SM order); the dispatcher backfills from the pending
+// grid onto the SM that freed the slots.
 func (d *Device) onCTAComplete(sm *SM, cta *CTAState) {
 	d.doneCTAs++
 	d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-retire", Data: cta.ID})
@@ -135,33 +148,6 @@ func (d *Device) onCTAComplete(sm *SM, cta *CTAState) {
 		d.emit(Event{Cycle: d.now, SM: sm.id, Kind: "cta-launch", Data: d.nextCTA})
 		d.nextCTA++
 	}
-}
-
-func (d *Device) loadGlobal(mem []uint64, addr int64) uint64 {
-	n := int64(len(mem))
-	if addr < 0 || addr >= n {
-		d.oobAccesses++
-		if n == 0 {
-			// Empty global segment: every access is out of bounds; loads
-			// read a deterministic zero instead of dividing by zero below.
-			return 0
-		}
-		addr = ((addr % n) + n) % n
-	}
-	return mem[addr]
-}
-
-func (d *Device) storeGlobal(mem []uint64, addr int64, v uint64) {
-	n := int64(len(mem))
-	if addr < 0 || addr >= n {
-		d.oobAccesses++
-		if n == 0 {
-			// Empty global segment: drop the store (counted above).
-			return
-		}
-		addr = ((addr % n) + n) % n
-	}
-	mem[addr] = v
 }
 
 // GlobalOf returns kernel i's global memory (i = the kernel's position in
@@ -227,49 +213,109 @@ func (s Stats) AcquireSuccessRate() float64 {
 	return float64(s.AcquireSuccesses) / float64(s.AcquireAttempts)
 }
 
-// progressSnapshot is what the forward-progress watchdog compares across
-// epochs: global issue, completion, and acquire counters plus a per-warp
-// issue snapshot for the diagnostic.
-type progressSnapshot struct {
+// progressTotals is what the forward-progress watchdog compares across
+// epochs: global issue, completion, and acquire counters. The per-warp
+// part of the snapshot lives on the warps themselves (markWarpProgress),
+// so an epoch check allocates nothing.
+type progressTotals struct {
 	issued    int64
 	doneCTAs  int
 	retired   int64
 	attempts  uint64
 	successes uint64
-	perWarp   map[*Warp]int64
 }
 
-func (d *Device) snapshotProgress() progressSnapshot {
-	s := progressSnapshot{doneCTAs: d.doneCTAs, retired: d.warpsRetired, perWarp: make(map[*Warp]int64)}
+func (d *Device) progressTotals() progressTotals {
+	s := progressTotals{doneCTAs: d.doneCTAs}
 	for _, sm := range d.sms {
 		s.issued += sm.issued
+		s.retired += sm.warpsRetired
 		a, ok, _ := sm.policy.Counters()
 		s.attempts += a
 		s.successes += ok
-		for _, w := range sm.warps {
-			if !w.Finished() {
-				s.perWarp[w] = w.Issued
-			}
-		}
 	}
 	return s
 }
 
-// stuckWarps counts live warps that issued nothing since the previous
-// epoch snapshot (the per-warp progress-epoch part of the watchdog).
-func (d *Device) stuckWarps(prev progressSnapshot) int {
+// markWarpProgress stamps every live warp's Issued count with a fresh
+// epoch tag; stuckSince compares against it at the next epoch boundary.
+func (d *Device) markWarpProgress() {
+	d.snapEpoch++
+	for _, sm := range d.sms {
+		for _, w := range sm.warps {
+			if !w.Finished() {
+				w.snapIssued = w.Issued
+				w.snapEpoch = d.snapEpoch
+			}
+		}
+	}
+}
+
+// stuckSince counts live warps that issued nothing since the last
+// markWarpProgress (the per-warp progress-epoch part of the watchdog).
+func (d *Device) stuckSince() int {
 	n := 0
 	for _, sm := range d.sms {
 		for _, w := range sm.warps {
-			if w.Finished() {
+			if w.Finished() || w.snapEpoch != d.snapEpoch {
 				continue
 			}
-			if last, seen := prev.perWarp[w]; seen && w.Issued == last {
+			if w.Issued == w.snapIssued {
 				n++
 			}
 		}
 	}
 	return n
+}
+
+// settleAll completes every SM's lazy stall attribution through the
+// current cycle, so audits and Stats observe the conservation law
+// (stalls sum to cycles × slots) exactly.
+func (d *Device) settleAll() {
+	for _, sm := range d.sms {
+		sm.settleTo(d.now)
+	}
+}
+
+// finishCycle is the cycle-end barrier, shared by both engines. Global
+// effects buffered during the cycle are applied here in fixed SM order —
+// stores commit, buffered observer callbacks replay, finished CTAs
+// retire and backfill — which is what makes results identical whether
+// SMs stepped serially or on concurrent workers.
+func (d *Device) finishCycle() {
+	for _, sm := range d.sms {
+		if len(sm.stores) > 0 {
+			sm.applyStores()
+		}
+	}
+	for _, sm := range d.sms {
+		if len(sm.obsBuf) == 0 {
+			continue
+		}
+		for i := range sm.obsBuf {
+			r := &sm.obsBuf[i]
+			if r.isEvent {
+				d.emit(r.ev)
+			} else if d.obs != nil {
+				d.obs.OnStall(r.slot)
+			}
+		}
+		sm.obsBuf = sm.obsBuf[:0]
+	}
+	for _, sm := range d.sms {
+		if len(sm.pendingRetire) == 0 {
+			continue
+		}
+		for i, cta := range sm.pendingRetire {
+			sm.retireCTA(cta)
+			d.onCTAComplete(sm, cta)
+			sm.pendingRetire[i] = nil
+		}
+		sm.pendingRetire = sm.pendingRetire[:0]
+		// Freed slots (and possibly fresh CTAs) change what the SM can
+		// do next cycle: wake it so schedulers reclassify.
+		sm.wakeAt = d.now + 1
+	}
 }
 
 // Run simulates until every CTA has retired and returns the statistics.
@@ -294,6 +340,15 @@ const ctxCheckStride = 4096
 // *CanceledError (matching both ErrCanceled and the context's error)
 // instead of simulating on to MaxCycles. A context that can never be
 // canceled costs nothing on the hot path.
+//
+// The engine is event-driven per SM: an SM that issued nothing, saw no
+// policy-gate retry, and has no pending scoreboard or memory event
+// sleeps until its own next event, and the device hops straight to the
+// earliest wake-up when no SM is due — the multi-SM generalisation of
+// the old whole-device fast-forward. With Par > 1 the due SMs of each
+// cycle step on a persistent worker pool between barriers (see
+// parallel.go); all global actions stay serialized in SM order at the
+// barrier, so Stats are byte-identical at any worker count.
 func (d *Device) RunContext(ctx context.Context) (Stats, error) {
 	target := d.Kernel.GridCTAs
 	if d.multi() {
@@ -312,12 +367,19 @@ func (d *Device) RunContext(ctx context.Context) (Stats, error) {
 		livelockEpochs = DefaultLivelockEpochs
 	}
 
+	var pool *smPool
+	if workers := poolWidth(d.Par, len(d.sms)); workers > 1 {
+		pool = newSMPool(d, workers)
+		defer pool.stop()
+	}
+
 	cancelable := ctx.Done() != nil
 	ctxCountdown := 0
 	idle := int64(0)
 	staleEpochs := 0
 	nextEpoch := d.now + epoch
-	prev := d.snapshotProgress()
+	prev := d.progressTotals()
+	d.markWarpProgress()
 	for d.doneCTAs < target {
 		if cancelable {
 			if ctxCountdown--; ctxCountdown <= 0 {
@@ -337,12 +399,13 @@ func (d *Device) RunContext(ctx context.Context) (Stats, error) {
 			return Stats{}, d.wedgeError(WedgeMaxCycles)
 		}
 		if d.Audit != nil {
+			d.settleAll()
 			if err := d.Audit.CheckCycle(d, d.now); err != nil {
 				return Stats{}, err
 			}
 		}
 		if d.now >= nextEpoch {
-			cur := d.snapshotProgress()
+			cur := d.progressTotals()
 			switch {
 			case cur.issued == prev.issued:
 				// A whole epoch without a single issue anywhere: events
@@ -356,12 +419,13 @@ func (d *Device) RunContext(ctx context.Context) (Stats, error) {
 				staleEpochs++
 				if staleEpochs >= livelockEpochs {
 					e := d.wedgeError(WedgeLivelock)
-					e.StuckWarps = d.stuckWarps(prev)
+					e.StuckWarps = d.stuckSince()
 					return Stats{}, e
 				}
 			default:
 				staleEpochs = 0
 			}
+			d.markWarpProgress()
 			prev = cur
 			nextEpoch = d.now + epoch
 		}
@@ -378,19 +442,22 @@ func (d *Device) RunContext(ctx context.Context) (Stats, error) {
 			}
 			d.nextSample = d.now + d.SampleInterval
 		}
-		issued := 0
+		// Find SMs due this cycle; with none due, hop straight to the
+		// earliest wake-up (the widened fast-forward: it no longer needs
+		// every SM blocked on the same cycle, each sleeps on its own).
+		due := false
+		next := int64(-1)
 		for _, sm := range d.sms {
-			issued += sm.step(d.now)
-		}
-		if issued == 0 {
-			// Nothing issued anywhere: fast-forward to the next event.
-			next := int64(-1)
-			for _, sm := range d.sms {
-				if t := sm.nextEvent(d.now); t >= 0 && (next < 0 || t < next) {
-					next = t
-				}
+			if sm.wakeAt <= d.now {
+				due = true
+			} else if sm.wakeAt != sleepForever && (next < 0 || sm.wakeAt < next) {
+				next = sm.wakeAt
 			}
+		}
+		if !due {
 			if next < 0 {
+				// No SM is due and nothing is pending anywhere: the
+				// machine can only deadlock from here.
 				idle++
 				if idle > idleThr {
 					return Stats{}, d.wedgeError(WedgeDeadlock)
@@ -399,29 +466,45 @@ func (d *Device) RunContext(ctx context.Context) (Stats, error) {
 				continue
 			}
 			idle = 0
-			// The skipped cycles are charged in bulk to the causes the
-			// step just recorded: nothing can change while no SM steps,
-			// so the attribution stays exact (sum == cycles × slots).
-			if skip := next - d.now - 1; skip > 0 {
-				for _, sm := range d.sms {
-					sm.chargeSkipped(skip)
-				}
-			}
 			d.now = next
 			continue
 		}
 		idle = 0
+		if pool != nil {
+			pool.runCycle(d.now)
+		} else {
+			for _, sm := range d.sms {
+				if sm.wakeAt <= d.now {
+					sm.step(d.now)
+				}
+			}
+		}
+		d.finishCycle()
 		d.now++
 	}
 	if d.fatalErr != nil {
 		return Stats{}, d.fatalErr
 	}
+	d.settleAll()
 	if d.Audit != nil {
 		if err := d.Audit.CheckEnd(d); err != nil {
 			return Stats{}, err
 		}
 	}
 	return d.collectStats(), nil
+}
+
+// poolWidth resolves the requested parallelism: 0 means automatic
+// (GOMAXPROCS), the result is clamped to the SM count, and anything
+// resolving at or below 1 selects the serial engine.
+func poolWidth(par, sms int) int {
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > sms {
+		par = sms
+	}
+	return par
 }
 
 // deadlockError builds the deadlock diagnostic for a wedged machine
@@ -494,13 +577,14 @@ func (d *Device) wedgeError(kind WedgeKind) *DeadlockError {
 }
 
 func (d *Device) collectStats() Stats {
-	st := Stats{Cycles: d.now, CTAs: d.doneCTAs, OOBAccesses: d.oobAccesses}
+	st := Stats{Cycles: d.now, CTAs: d.doneCTAs}
 	var activeSum, occSum int64
 	for _, sm := range d.sms {
 		st.Instructions += sm.issued
 		st.AcqRelInstructions += sm.acqRelIssued
 		st.RFReads += sm.rfReads
 		st.RFWrites += sm.rfWrites
+		st.OOBAccesses += sm.oobAccesses
 		activeSum += sm.cyclesActive
 		occSum += sm.occupancySum
 		a, s, r := sm.policy.Counters()

@@ -124,10 +124,10 @@ func (sm *SM) execute(w *Warp, in *isa.Instr, pc int, exec laneMask) (taken lane
 			// handled by caller via exitLanes
 		case isa.OpLdGlobal:
 			addr := int64(read(in.Srcs[0], lane)) + in.Off
-			write(lane, sm.dev.loadGlobal(w.CTA.global, addr))
+			write(lane, sm.loadGlobal(w.CTA.global, addr))
 		case isa.OpStGlobal:
 			addr := int64(read(in.Srcs[0], lane)) + in.Off
-			sm.dev.storeGlobal(w.CTA.global, addr, read(in.Srcs[1], lane))
+			sm.storeGlobal(w.CTA.global, addr, read(in.Srcs[1], lane))
 		case isa.OpLdShared:
 			addr := int64(read(in.Srcs[0], lane)) + in.Off
 			write(lane, w.CTA.loadShared(addr))

@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"regmutex/internal/isa"
 )
@@ -53,20 +53,62 @@ func (c *CTAState) storeShared(addr int64, v uint64) {
 // liveWarps returns warps that have not finished.
 func (c *CTAState) liveWarps() int { return len(c.warps) - c.doneWarps }
 
-// eventHeap is a min-heap of future completion times, used both for
-// idle-cycle skipping and in-flight memory accounting.
+// eventHeap is a typed min-heap of future completion times, used both for
+// idle-cycle skipping and in-flight memory accounting. It deliberately
+// does not go through container/heap: the interface{} round-trip there
+// boxes every int64 push, which on the memory-completion path means an
+// allocation per issued load/store.
 type eventHeap []int64
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push inserts t, keeping the min-heap property.
+func (h *eventHeap) push(t int64) {
+	*h = append(*h, t)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum. The heap must be non-empty.
+func (h *eventHeap) pop() int64 {
+	s := *h
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r] < s[l] {
+			m = r
+		}
+		if s[i] <= s[m] {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return min
+}
+
+// min returns the smallest element without removing it.
+func (h eventHeap) min() int64 { return h[0] }
+
+// schedCand is one runnable warp in a scheduler's pick order.
+type schedCand struct {
+	w    *Warp
+	p    int // policy priority (lower runs first)
+	rank int // tiebreak: Seq (oldest-first) or rotated Widx (round-robin)
 }
 
 // scheduler is one of the SM's warp schedulers (greedy-then-oldest).
@@ -74,9 +116,29 @@ type scheduler struct {
 	id   int
 	last *Warp // greedy: keep issuing from the same warp
 
-	// lastRes is the slot's most recent per-cycle attribution; Run
-	// multiplies it over cycles the event-driven fast-forward skips.
+	// lastRes is the slot's most recent per-cycle attribution; settleTo
+	// multiplies it over cycles the SM slept through.
 	lastRes slotResult
+
+	// cands caches the warps mapped to this scheduler (Widx % nsched ==
+	// id), rebuilt only when SM warp membership changes (launch/retire);
+	// order is the scratch pick list reused every cycle.
+	cands   []*Warp
+	candGen uint64
+	order   []schedCand
+}
+
+// rebuildCands refreshes the scheduler's mapped-warp cache from sm.warps
+// (which is kept in launch = Seq order).
+func (sched *scheduler) rebuildCands(sm *SM) {
+	sched.cands = sched.cands[:0]
+	n := len(sm.schedulers)
+	for _, w := range sm.warps {
+		if w.Widx%n == sched.id {
+			sched.cands = append(sched.cands, w)
+		}
+	}
+	sched.candGen = sm.warpGen
 }
 
 // slotResult is one scheduler slot's attribution for one cycle: the
@@ -114,13 +176,36 @@ func (o issueOutcome) stallCause() StallCause {
 	}
 }
 
+// sleepForever marks an SM with no pending events and no policy retries:
+// nothing on it can change until a device-level action (CTA launch)
+// resets wakeAt.
+const sleepForever = int64(math.MaxInt64)
+
+// pendingStore is one buffered global-memory write. Stores commit at the
+// end of the cycle, in SM order (see DESIGN.md §11): during a cycle every
+// load reads the cycle-start state, which is what makes the parallel
+// engine's results independent of worker count.
+type pendingStore struct {
+	mem  []uint64
+	addr int64
+	val  uint64
+}
+
+// obsRec is one buffered observer callback (parallel engine only): either
+// a coarse Event or a per-slot StallSlot, preserving within-SM order.
+type obsRec struct {
+	isEvent bool
+	ev      Event
+	slot    StallSlot
+}
+
 // SM is one streaming multiprocessor.
 type SM struct {
 	dev *Device
 	id  int
 
 	ctas       []*CTAState
-	warps      []*Warp // all resident warps (nil entries after completion)
+	warps      []*Warp // all resident warps, in launch (Seq) order
 	slots      []bool  // warp slot occupancy, index = Widx
 	schedulers []scheduler
 
@@ -131,6 +216,33 @@ type SM struct {
 	wakeups      eventHeap // scoreboard writeback times (idle skipping)
 	sfuThisCycle int
 
+	// warpGen bumps whenever warp membership changes (CTA launch or
+	// retire); schedulers rebuild their mapped-warp caches lazily on it.
+	warpGen uint64
+
+	// wakeAt is the next cycle this SM must step. An SM that issued
+	// nothing, saw no policy-gate retry, and has no pending event sleeps
+	// until its next scoreboard/memory event (or forever, until a device
+	// action wakes it); slept cycles are charged lazily by settleTo.
+	wakeAt         int64
+	chargedThrough int64 // stall attribution is complete for cycles < chargedThrough
+	sawPolicyBlock bool  // a policy gate refused issue this cycle (acquire retry)
+
+	// pendingRetire holds CTAs whose last warp finished this cycle;
+	// retirement and backfill run at the cycle-end barrier in SM order so
+	// the dispatcher's global counters stay deterministic at any -par.
+	pendingRetire []*CTAState
+
+	// stores buffers this cycle's global-memory writes (committed at the
+	// cycle-end barrier in SM order).
+	stores []pendingStore
+
+	// obsBuf, when buffered is set (parallel engine with an observer
+	// attached), collects this cycle's observer callbacks for in-order
+	// replay at the barrier.
+	buffered bool
+	obsBuf   []obsRec
+
 	// Stats.
 	issued        int64
 	acqRelIssued  int64 // ACQ/REL primitives among issued (differential runs subtract these)
@@ -139,9 +251,11 @@ type SM struct {
 	occupancySum  int64 // resident warps integrated over active cycles
 	rfReads       int64 // register file row reads (warp-wide)
 	rfWrites      int64 // register file row writes
+	oobAccesses   int64 // out-of-bounds global accesses (per-SM for determinism)
+	warpsRetired  int64
 
 	// stalls is the SM's per-cause scheduler-slot attribution: exactly
-	// one cause per scheduler per stepped cycle (skipped cycles charged
+	// one cause per scheduler per stepped cycle (slept cycles charged
 	// in bulk), so its sum is always cycles × SchedulersPerSM.
 	stalls StallBreakdown
 }
@@ -200,6 +314,7 @@ func (sm *SM) launchCTAOf(k *isa.Kernel, kidx, id int) {
 		sm.warpsLaunched++
 	}
 	sm.ctas = append(sm.ctas, cta)
+	sm.warpGen++
 	sm.policy.OnCTALaunch(cta)
 }
 
@@ -216,14 +331,19 @@ func (sm *SM) takeSlot() int {
 	return -1
 }
 
-// retireCTA frees a finished CTA's resources.
+// retireCTA frees a finished CTA's resources. Both removals preserve
+// order in place (sm.warps must stay Seq-sorted for the schedulers) and
+// nil out the vacated tail so retired CTAs and warps are collectable
+// instead of pinned by the reused backing arrays.
 func (sm *SM) retireCTA(cta *CTAState) {
 	for _, w := range cta.warps {
 		sm.slots[w.Widx] = false
 	}
 	for i, c := range sm.ctas {
 		if c == cta {
-			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
+			copy(sm.ctas[i:], sm.ctas[i+1:])
+			sm.ctas[len(sm.ctas)-1] = nil
+			sm.ctas = sm.ctas[:len(sm.ctas)-1]
 			break
 		}
 	}
@@ -233,7 +353,11 @@ func (sm *SM) retireCTA(cta *CTAState) {
 			live = append(live, w)
 		}
 	}
+	for i := len(live); i < len(sm.warps); i++ {
+		sm.warps[i] = nil
+	}
 	sm.warps = live
+	sm.warpGen++
 	sm.policy.OnCTARetire(cta)
 }
 
@@ -242,8 +366,8 @@ func (sm *SM) residentWarps() int { return len(sm.warps) }
 
 // drainMemCompletions retires finished global requests.
 func (sm *SM) drainMemCompletions(now int64) {
-	for len(sm.memComplete) > 0 && sm.memComplete[0] <= now {
-		heap.Pop(&sm.memComplete)
+	for len(sm.memComplete) > 0 && sm.memComplete.min() <= now {
+		sm.memComplete.pop()
 		sm.memInFlight--
 	}
 }
@@ -252,29 +376,102 @@ func (sm *SM) drainMemCompletions(now int64) {
 // or -1 if nothing is pending.
 func (sm *SM) nextEvent(now int64) int64 {
 	next := int64(-1)
-	consider := func(t int64) {
-		if t > now && (next < 0 || t < next) {
+	if len(sm.memComplete) > 0 {
+		if t := sm.memComplete.min(); t > now {
 			next = t
 		}
 	}
-	if len(sm.memComplete) > 0 {
-		consider(sm.memComplete[0])
-	}
-	for len(sm.wakeups) > 0 && sm.wakeups[0] <= now {
-		heap.Pop(&sm.wakeups)
+	for len(sm.wakeups) > 0 && sm.wakeups.min() <= now {
+		sm.wakeups.pop()
 	}
 	if len(sm.wakeups) > 0 {
-		consider(sm.wakeups[0])
+		if t := sm.wakeups.min(); next < 0 || t < next {
+			next = t
+		}
 	}
 	return next
+}
+
+// loadGlobal reads kernel global memory. Loads always observe the
+// cycle-start state: stores from the same cycle are still in the buffer.
+func (sm *SM) loadGlobal(mem []uint64, addr int64) uint64 {
+	n := int64(len(mem))
+	if addr < 0 || addr >= n {
+		sm.oobAccesses++
+		if n == 0 {
+			// Empty global segment: every access is out of bounds; loads
+			// read a deterministic zero instead of dividing by zero below.
+			return 0
+		}
+		addr = ((addr % n) + n) % n
+	}
+	return mem[addr]
+}
+
+// storeGlobal buffers a global-memory write; it commits at the cycle-end
+// barrier in SM order (applyStores).
+func (sm *SM) storeGlobal(mem []uint64, addr int64, v uint64) {
+	sm.stores = append(sm.stores, pendingStore{mem: mem, addr: addr, val: v})
+}
+
+// applyStores commits the cycle's buffered global writes. Out-of-bounds
+// accounting happens here (not at issue) so the count lands on the SM
+// that issued the store regardless of engine.
+func (sm *SM) applyStores() {
+	for _, st := range sm.stores {
+		n := int64(len(st.mem))
+		addr := st.addr
+		if addr < 0 || addr >= n {
+			sm.oobAccesses++
+			if n == 0 {
+				continue // empty segment: drop the store (counted above)
+			}
+			addr = ((addr % n) + n) % n
+		}
+		st.mem[addr] = st.val
+	}
+	sm.stores = sm.stores[:0]
+}
+
+// emitEvent routes an SM-side event to the observer: directly in the
+// serial engine, via the per-SM buffer (replayed at the barrier in SM
+// order) in the parallel engine.
+func (sm *SM) emitEvent(ev Event) {
+	if sm.buffered {
+		sm.obsBuf = append(sm.obsBuf, obsRec{isEvent: true, ev: ev})
+		return
+	}
+	sm.dev.emit(ev)
+}
+
+// settleTo charges each scheduler slot's last attribution over the cycles
+// the SM slept through (nothing steps while the SM sleeps, so the causes
+// cannot change). This keeps the conservation law — stalls sum to
+// cycles × SchedulersPerSM — intact at every point the audit layer or
+// collectStats can observe.
+func (sm *SM) settleTo(now int64) {
+	n := now - sm.chargedThrough
+	if n <= 0 {
+		return
+	}
+	for s := range sm.schedulers {
+		res := sm.schedulers[s].lastRes
+		sm.stalls[res.cause] += n
+		if res.warp != nil {
+			res.warp.Stalls[res.cause] += n
+		}
+	}
+	sm.chargedThrough = now
 }
 
 // step advances the SM by one cycle; returns the number of instructions
 // issued. Every scheduler slot is charged to exactly one StallCause per
 // step (the per-cycle attribution the observability layer is built on).
 func (sm *SM) step(now int64) int {
+	sm.settleTo(now)
 	sm.drainMemCompletions(now)
 	sm.sfuThisCycle = 0
+	sm.sawPolicyBlock = false
 	issued := 0
 	obs := sm.dev.obs
 	for s := range sm.schedulers {
@@ -289,8 +486,13 @@ func (sm *SM) step(now int64) int {
 			issued++
 		}
 		if obs != nil {
-			obs.OnStall(StallSlot{Cycle: now, SM: sm.id, Scheduler: sched.id,
-				Cause: res.cause, Warp: res.warp})
+			slot := StallSlot{Cycle: now, SM: sm.id, Scheduler: sched.id,
+				Cause: res.cause, Warp: res.warp}
+			if sm.buffered {
+				sm.obsBuf = append(sm.obsBuf, obsRec{slot: slot})
+			} else {
+				obs.OnStall(slot)
+			}
 		}
 	}
 	if len(sm.warps) > 0 {
@@ -298,20 +500,23 @@ func (sm *SM) step(now int64) int {
 		sm.occupancySum += int64(len(sm.warps))
 	}
 	sm.issued += int64(issued)
-	return issued
-}
-
-// chargeSkipped replays each slot's last attribution over n cycles the
-// device's event-driven fast-forward skipped (nothing steps during a
-// skip, so the causes cannot change).
-func (sm *SM) chargeSkipped(n int64) {
-	for s := range sm.schedulers {
-		res := sm.schedulers[s].lastRes
-		sm.stalls[res.cause] += n
-		if res.warp != nil {
-			res.warp.Stalls[res.cause] += n
+	sm.chargedThrough = now + 1
+	// Decide when this SM must step again. A policy-gate refusal means a
+	// warp retries its acquire every cycle (the retry itself is modelled
+	// state: attempt counters and the livelock watchdog), so the SM stays
+	// awake; otherwise it can sleep until its next scoreboard or memory
+	// event without any observable difference.
+	switch {
+	case issued > 0 || sm.sawPolicyBlock:
+		sm.wakeAt = now + 1
+	default:
+		if t := sm.nextEvent(now); t >= 0 {
+			sm.wakeAt = t
+		} else {
+			sm.wakeAt = sleepForever
 		}
 	}
+	return issued
 }
 
 // issueSlot lets one scheduler pick and issue at most one instruction
@@ -321,57 +526,87 @@ func (sm *SM) chargeSkipped(n int64) {
 // hazard; slots with no runnable candidate classify as barrier,
 // no-warp, or empty.
 func (sm *SM) issueSlot(sched *scheduler, now int64) slotResult {
-	// Candidate order: greedy (last issued) first, then priority /
-	// oldest-first. Walk candidates until one issues. The tried set is
-	// a bitmask over warp slots (Nw <= 64).
-	var tried uint64
+	rr := sm.dev.Timing.LooseRoundRobin
+	if rr {
+		sched.last = nil // round-robin: no greedy stickiness
+	}
+	if sched.last != nil && sched.last.Finished() {
+		// A finished warp's slot may already belong to a fresh warp;
+		// keeping it greedy would shadow that warp in the pick list.
+		sched.last = nil
+	}
+	last := sched.last
 	charged := slotResult{cause: causeInvalid}
-	note := func(w *Warp, out issueOutcome) {
+	if last != nil {
+		out := sm.tryIssue(last, now)
+		if out == outIssued {
+			return slotResult{cause: CauseIssued, warp: last}
+		}
+		if c := out.stallCause(); c != causeInvalid {
+			charged = slotResult{cause: c, warp: last}
+		}
+	}
+	if sched.candGen != sm.warpGen {
+		sched.rebuildCands(sm)
+	}
+	// Build the pick order: one pass over the mapped warps collecting
+	// (priority, rank); the list is already in Seq order, so the common
+	// all-equal-priority case needs no sort at all. Priorities cannot
+	// change while a scan fails (only successful issues mutate policy
+	// state), so a single fetch per warp is exact.
+	order := sched.order[:0]
+	needSort := false
+	for _, w := range sched.cands {
+		if w == last || w.finished || w.atBarrier {
+			continue
+		}
+		p := sm.policy.Priority(w)
+		rank := w.Seq
+		if rr {
+			max := sm.dev.Config.MaxWarpsPerSM
+			rank = (w.Widx - int(now)%max + max) % max
+		}
+		if n := len(order); n > 0 {
+			if prev := &order[n-1]; p < prev.p || (p == prev.p && rank < prev.rank) {
+				needSort = true
+			}
+		}
+		order = append(order, schedCand{w: w, p: p, rank: rank})
+	}
+	sched.order = order
+	if needSort {
+		for i := 1; i < len(order); i++ {
+			c := order[i]
+			j := i - 1
+			for j >= 0 && (order[j].p > c.p || (order[j].p == c.p && order[j].rank > c.rank)) {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = c
+		}
+	}
+	for i := range order {
+		w := order[i].w
+		if w.blockedUntil > now {
+			// Scoreboard-blocked until a known future cycle: charge
+			// without re-decoding the instruction. The cached bound is
+			// conservative (fault injection only delays writebacks), so
+			// an expired bound is simply recomputed by tryIssue.
+			if charged.cause == causeInvalid {
+				charged = slotResult{cause: CauseScoreboard, warp: w}
+			}
+			continue
+		}
+		out := sm.tryIssue(w, now)
+		if out == outIssued {
+			sched.last = w
+			return slotResult{cause: CauseIssued, warp: w}
+		}
 		if charged.cause == causeInvalid {
 			if c := out.stallCause(); c != causeInvalid {
 				charged = slotResult{cause: c, warp: w}
 			}
 		}
-	}
-	if sm.dev.Timing.LooseRoundRobin {
-		sched.last = nil // round-robin: no greedy stickiness
-	}
-	if sched.last != nil && sched.last.Finished() {
-		// A finished warp's slot may already belong to a fresh warp;
-		// keeping it greedy would shadow that warp in the tried mask.
-		sched.last = nil
-	}
-	if sched.last != nil {
-		out := sm.tryIssue(sched.last, now)
-		if out == outIssued {
-			return slotResult{cause: CauseIssued, warp: sched.last}
-		}
-		note(sched.last, out)
-		tried |= 1 << uint(sched.last.Widx)
-	}
-	for {
-		var pick *Warp
-		for _, w := range sm.warps {
-			if w.Widx%len(sm.schedulers) != sched.id || tried&(1<<uint(w.Widx)) != 0 {
-				continue
-			}
-			if w.Finished() || w.atBarrier {
-				continue
-			}
-			if pick == nil || sm.better(w, pick) {
-				pick = w
-			}
-		}
-		if pick == nil {
-			break
-		}
-		tried |= 1 << uint(pick.Widx)
-		out := sm.tryIssue(pick, now)
-		if out == outIssued {
-			sched.last = pick
-			return slotResult{cause: CauseIssued, warp: pick}
-		}
-		note(pick, out)
 	}
 	if charged.cause != causeInvalid {
 		return charged
@@ -386,8 +621,8 @@ func (sm *SM) classifyIdleSlot(sched *scheduler) slotResult {
 	if len(sm.warps) == 0 {
 		return slotResult{cause: CauseEmpty}
 	}
-	for _, w := range sm.warps {
-		if w.Widx%len(sm.schedulers) != sched.id || w.Finished() {
+	for _, w := range sched.cands {
+		if w.Finished() {
 			continue
 		}
 		if w.atBarrier {
@@ -395,22 +630,6 @@ func (sm *SM) classifyIdleSlot(sched *scheduler) slotResult {
 		}
 	}
 	return slotResult{cause: CauseNoWarp}
-}
-
-// better reports whether a should be scheduled before b (policy priority,
-// then age for greedy-then-oldest, or rotation for loose round-robin).
-func (sm *SM) better(a, b *Warp) bool {
-	pa, pb := sm.policy.Priority(a), sm.policy.Priority(b)
-	if pa != pb {
-		return pa < pb
-	}
-	if sm.dev.Timing.LooseRoundRobin {
-		rot := int(sm.dev.now) % sm.dev.Config.MaxWarpsPerSM
-		ra := (a.Widx - rot + sm.dev.Config.MaxWarpsPerSM) % sm.dev.Config.MaxWarpsPerSM
-		rb := (b.Widx - rot + sm.dev.Config.MaxWarpsPerSM) % sm.dev.Config.MaxWarpsPerSM
-		return ra < rb
-	}
-	return a.Seq < b.Seq
 }
 
 // tryIssue attempts to issue w's next instruction at cycle now and
@@ -429,7 +648,8 @@ func (sm *SM) tryIssue(w *Warp, now int64) issueOutcome {
 	}
 	in := &w.CTA.kern.Instrs[pc]
 
-	if !w.scoreboardReady(in, now) {
+	if t := w.scoreboardReadyAt(in); t > now {
+		w.blockedUntil = t
 		return outScoreboard
 	}
 	// Structural hazards.
@@ -447,6 +667,7 @@ func (sm *SM) tryIssue(w *Warp, now int64) issueOutcome {
 	}
 	// Policy gate (acquire/release, OWF locks, RFV allocation).
 	if !sm.policy.TryIssue(w, in, now) {
+		sm.sawPolicyBlock = true
 		return outPolicy
 	}
 
@@ -472,11 +693,11 @@ func (sm *SM) tryIssue(w *Warp, now int64) issueOutcome {
 		lat := sm.dev.Timing.latency(in.Op)
 		w.markWrite(in, now+lat)
 		if isa.HasDst(in.Op) || in.Op == isa.OpSetp || in.Op == isa.OpSetpF {
-			heap.Push(&sm.wakeups, now+lat)
+			sm.wakeups.push(now + lat)
 		}
 		if in.Op == isa.OpLdGlobal || in.Op == isa.OpStGlobal {
 			sm.memInFlight++
-			heap.Push(&sm.memComplete, now+lat)
+			sm.memComplete.push(now + lat)
 		}
 		if in.Op == isa.OpBra {
 			// taken = guard-true lanes; everyone else in the active
@@ -525,14 +746,17 @@ func (sm *SM) arriveBarrier(w *Warp) {
 	}
 }
 
-// onWarpFinished handles warp completion and CTA retirement.
+// onWarpFinished handles warp completion. CTA retirement is deferred to
+// the cycle-end barrier (Device.finishCycle) so the dispatcher's global
+// state — nextCTA, doneCTAs, the multi-kernel rotation — is only touched
+// in fixed SM order, which is what keeps Stats identical at any -par.
 func (sm *SM) onWarpFinished(w *Warp) {
 	if w.retired {
 		return
 	}
 	w.retired = true
 	w.finished = true
-	sm.dev.warpsRetired++
+	sm.warpsRetired++
 	sm.policy.OnWarpExit(w)
 	cta := w.CTA
 	cta.doneWarps++
@@ -547,7 +771,6 @@ func (sm *SM) onWarpFinished(w *Warp) {
 		cta.barWaiting = 0
 	}
 	if cta.doneWarps == len(cta.warps) {
-		sm.retireCTA(cta)
-		sm.dev.onCTAComplete(sm, cta)
+		sm.pendingRetire = append(sm.pendingRetire, cta)
 	}
 }

@@ -26,6 +26,7 @@ type buildOptions struct {
 	observers   []Observer
 	audit       AuditHook
 	sampleEvery int64
+	par         int
 }
 
 // Option configures New.
@@ -59,6 +60,13 @@ func WithAudit(h AuditHook) Option { return func(b *buildOptions) { b.audit = h 
 // omitted selects the default of 256.
 func WithSampleInterval(n int64) Option { return func(b *buildOptions) { b.sampleEvery = n } }
 
+// WithParallelism sets the worker count for the parallel-across-SMs
+// engine (Device.Par): n > 1 steps SMs on min(n, NumSMs) concurrent
+// workers between deterministic cycle barriers, 0 (the default) picks
+// GOMAXPROCS, and 1 forces the serial engine. Results are byte-identical
+// at every value.
+func WithParallelism(n int) Option { return func(b *buildOptions) { b.par = n } }
+
 // New builds a device from the spec and options. This is the canonical
 // constructor; NewDevice is the deprecated positional shim over it.
 func New(spec DeviceSpec, opts ...Option) (*Device, error) {
@@ -84,6 +92,7 @@ func New(spec DeviceSpec, opts ...Option) (*Device, error) {
 		Policy: pol,
 		Global: b.global,
 		Audit:  b.audit,
+		Par:    b.par,
 		obs:    MultiObserver(b.observers...),
 	}
 	if b.sampleEvery > 0 {

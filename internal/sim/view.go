@@ -15,8 +15,15 @@ func (d *Device) Now() int64 { return d.now }
 // DoneCTAs returns how many CTAs have retired so far.
 func (d *Device) DoneCTAs() int { return d.doneCTAs }
 
-// WarpsRetired returns how many warps have completed so far.
-func (d *Device) WarpsRetired() int64 { return d.warpsRetired }
+// WarpsRetired returns how many warps have completed so far (per-SM
+// counters summed; they are per-SM so workers never share a counter).
+func (d *Device) WarpsRetired() int64 {
+	var n int64
+	for _, sm := range d.sms {
+		n += sm.warpsRetired
+	}
+	return n
+}
 
 // ID returns the SM's index on the device.
 func (sm *SM) ID() int { return sm.id }

@@ -50,6 +50,19 @@ type Warp struct {
 	finished  bool
 	retired   bool
 
+	// blockedUntil caches the earliest cycle the warp's next instruction
+	// clears the scoreboard, set when an issue attempt fails on a pending
+	// writeback. It is a conservative lower bound (fault injection only
+	// pushes writebacks later), so schedulers may skip the warp without
+	// re-decoding until it expires, then recompute.
+	blockedUntil int64
+
+	// snapIssued / snapEpoch are the forward-progress watchdog's per-warp
+	// snapshot (Issued as of the epoch tagged snapEpoch). Keeping them on
+	// the warp replaces the map the watchdog used to allocate per check.
+	snapIssued int64
+	snapEpoch  uint64
+
 	// Per-warp counters. Stalls is the warp's share of the per-cycle
 	// scheduler-slot attribution: a warp is charged only on cycles a
 	// scheduler charged its slot to this warp (so per-warp breakdowns
@@ -136,21 +149,29 @@ func (w *Warp) guardMask(in *isa.Instr, active laneMask) laneMask {
 // scoreboardReady reports whether the instruction's source and destination
 // registers have no pending writes at the given cycle.
 func (w *Warp) scoreboardReady(in *isa.Instr, now int64) bool {
-	if isa.HasDst(in.Op) && w.regReady[in.Dst] > now {
-		return false
+	return w.scoreboardReadyAt(in) <= now
+}
+
+// scoreboardReadyAt returns the earliest cycle at which every register
+// and predicate the instruction touches has no pending write — the value
+// the schedulers cache in blockedUntil to skip re-decoding blocked warps.
+func (w *Warp) scoreboardReadyAt(in *isa.Instr) int64 {
+	t := int64(0)
+	if isa.HasDst(in.Op) && w.regReady[in.Dst] > t {
+		t = w.regReady[in.Dst]
 	}
 	for s := 0; s < isa.NumSrcs(in.Op); s++ {
-		if in.Srcs[s].Kind == isa.OpndReg && w.regReady[in.Srcs[s].Reg] > now {
-			return false
+		if in.Srcs[s].Kind == isa.OpndReg && w.regReady[in.Srcs[s].Reg] > t {
+			t = w.regReady[in.Srcs[s].Reg]
 		}
 	}
-	if (in.Op == isa.OpSetp || in.Op == isa.OpSetpF) && w.predReady[in.PDst] > now {
-		return false
+	if (in.Op == isa.OpSetp || in.Op == isa.OpSetpF) && w.predReady[in.PDst] > t {
+		t = w.predReady[in.PDst]
 	}
-	if !in.Guard.Unguarded() && w.predReady[in.Guard.Pred] > now {
-		return false
+	if !in.Guard.Unguarded() && w.predReady[in.Guard.Pred] > t {
+		t = w.predReady[in.Guard.Pred]
 	}
-	return true
+	return t
 }
 
 // markWrite records the writeback time of the instruction's destination.
