@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke
+.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke chaos-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,16 @@ test:
 # smoke run (capture a trace, validate the emitted JSON), and the
 # gpusimd daemon smoke run (boot, serve a job over HTTP, stream its
 # events, verify request-ID + Prometheus telemetry, drain cleanly on
-# SIGTERM).
+# SIGTERM), and the fleet gates: the seeded chaos matrix under -race
+# and the gpusimrouter three-instance selftest with a mid-run kill.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
+	$(MAKE) fleet-smoke
 
 # The benchmark-trajectory harness: run the fixed workload×policy
 # simulator matrix plus the gpusimd loopback load phase and write a
@@ -54,6 +57,24 @@ obs-smoke:
 # drain; proves the simulation-as-a-service path end to end.
 serve-smoke:
 	$(GO) run ./cmd/gpusimd -selftest
+
+# The seeded chaos matrix under the race detector: a three-instance
+# fleet behind deterministic fault-injecting proxies (latency spikes,
+# connection resets, 5xx bursts, black-holed streams, a mid-job
+# instance kill, a SIGTERM drain) — every batch must come back
+# byte-identical to a pristine single-instance run with no job lost or
+# double-counted.
+chaos-smoke:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'TestChaosMatrix|TestChaosKillInstanceMidJob|TestDrainReroutesWithoutDroppingInFlight|TestJournalFailoverReplay' \
+		./internal/cluster/
+
+# Boot a three-instance gpusimd fleet behind a gpusimrouter on loopback
+# ports, submit through the router, kill the instance that served the
+# job, resubmit (must fail over with an identical report), then
+# SIGTERM-drain the router; proves the resilient-fleet path end to end.
+fleet-smoke:
+	$(GO) run ./cmd/gpusimrouter -selftest
 
 # Price the observability layer: detached (attribution only) vs the
 # full attached collector stack, and the HTTP telemetry middleware

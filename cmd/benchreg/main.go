@@ -23,6 +23,7 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	jobs := flag.Int("jobs", 0, "loopback load-phase request count (0 = mode default)")
 	par := flag.Int("par", 0, "SM-stepping workers inside each simulation (0 = GOMAXPROCS, 1 = serial; cycle counts identical at any value)")
+	router := flag.Bool("router", false, "add the fleet phase: the job storm through a gpusimrouter over 3 instances with one killed mid-load")
 	compare := flag.Bool("compare", false, "compare two trajectory files: benchreg -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction (0.10 = 10%)")
 	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
@@ -65,7 +66,7 @@ func main() {
 		return
 	}
 
-	res, err := benchreg.Run(benchreg.Options{Quick: *quick, Jobs: *jobs, Par: *par, Logger: logger})
+	res, err := benchreg.Run(benchreg.Options{Quick: *quick, Jobs: *jobs, Par: *par, Fleet: *router, Logger: logger})
 	if err != nil {
 		fail(1, "%v", err)
 	}
@@ -78,6 +79,10 @@ func main() {
 	}
 	fmt.Printf("benchreg: wrote %s (%d sim cells, %d service jobs, p99 %.1fms, memo hit rate %.0f%%)\n",
 		path, len(res.Sim), res.Service.Jobs, res.Service.Latency.P99, 100*res.Service.MemoHitRate)
+	if res.Fleet != nil {
+		fmt.Printf("benchreg: fleet (1 of %d instances killed mid-load): %d jobs, p99 %.1fms, memo hit rate %.0f%%, %d failover(s), %d retrie(s)\n",
+			res.Fleet.Instances, res.Fleet.Jobs, res.Fleet.Latency.P99, 100*res.Fleet.MemoHitRate, res.Fleet.Failovers, res.Fleet.Retries)
+	}
 }
 
 func fail(code int, format string, args ...any) {

@@ -56,6 +56,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
 	burst := flag.Int("burst", 8, "per-client burst allowance")
 	journal := flag.String("journal", "", "job journal path for crash recovery (empty = off)")
+	journalFsync := flag.Bool("journal-fsync", true, "fsync the journal after every append (disable on router-fronted fleet members; the router's journal covers instance loss)")
 	drainWait := flag.Duration("drain", 60*time.Second, "max graceful drain time on SIGTERM")
 	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
@@ -77,15 +78,16 @@ func main() {
 
 	o := options{
 		cfg: service.Config{
-			Workers:     *workers,
-			PoolWorkers: *poolWorkers,
-			Par:         *par,
-			QueueDepth:  *queueDepth,
-			MemoLimit:   *memoLimit,
-			RatePerSec:  *rate,
-			Burst:       *burst,
-			JournalPath: *journal,
-			Logger:      logger,
+			Workers:       *workers,
+			PoolWorkers:   *poolWorkers,
+			Par:           *par,
+			QueueDepth:    *queueDepth,
+			MemoLimit:     *memoLimit,
+			RatePerSec:    *rate,
+			Burst:         *burst,
+			JournalPath:   *journal,
+			JournalNoSync: !*journalFsync,
+			Logger:        logger,
 		},
 		logger: logger,
 		pprof:  *pprofOn,

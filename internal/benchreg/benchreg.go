@@ -40,6 +40,9 @@ type Result struct {
 	Quick         bool          `json:"quick"`
 	Sim           []SimPoint    `json:"sim"`
 	Service       *ServicePoint `json:"service,omitempty"`
+	// Fleet is the optional router load phase (-router); Compare only
+	// considers it when both trajectory points carry one.
+	Fleet *FleetPoint `json:"fleet,omitempty"`
 }
 
 // SimPoint is one workload×policy cell of the simulator matrix.
@@ -89,6 +92,9 @@ type Options struct {
 	// cycle counts are identical at every value; only the wall-clock
 	// (and hence cycles_per_sec) responds to it.
 	Par int
+	// Fleet adds the router load phase: the job storm through a
+	// gpusimrouter over three instances with one killed mid-load.
+	Fleet bool
 	// Logger narrates phases; nil discards.
 	Logger *slog.Logger
 }
@@ -154,6 +160,15 @@ func Run(o Options) (*Result, error) {
 		return nil, err
 	}
 	res.Service = svc
+
+	if o.Fleet {
+		log.Info("fleet phase", "jobs", jobs, "instances", 3)
+		fleet, err := runFleetPhase(jobs, o.Quick)
+		if err != nil {
+			return nil, err
+		}
+		res.Fleet = fleet
+	}
 	return res, nil
 }
 
@@ -370,6 +385,13 @@ func Compare(old, new_ *Result, threshold float64) ([]string, error) {
 			lowerIsWorse("service jobs_per_sec", old.Service.JobsPerSec, new_.Service.JobsPerSec)
 			higherIsWorse("service latency_p99_ms", old.Service.Latency.P99, new_.Service.Latency.P99)
 		}
+	}
+	// The fleet phase is opt-in (-router), so its absence on either side
+	// is not a regression — only compare when both points carry it.
+	if old.Fleet != nil && new_.Fleet != nil {
+		lowerIsWorse("fleet jobs_per_sec", old.Fleet.JobsPerSec, new_.Fleet.JobsPerSec)
+		higherIsWorse("fleet latency_p99_ms", old.Fleet.Latency.P99, new_.Fleet.Latency.P99)
+		lowerIsWorse("fleet memo_hit_rate", old.Fleet.MemoHitRate, new_.Fleet.MemoHitRate)
 	}
 	return regs, nil
 }

@@ -1,0 +1,169 @@
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regmutex/internal/cluster"
+	"regmutex/internal/obs"
+	"regmutex/internal/service"
+)
+
+// FleetPoint summarizes the router load phase: the same loopback job
+// storm as the service phase, but through a gpusimrouter fronting three
+// instances — with one instance killed mid-load. The latency quantiles
+// therefore price in real failovers, and the hit rate measures how well
+// fingerprint affinity keeps duplicate work landing on warm memo caches
+// while the fleet is degraded.
+type FleetPoint struct {
+	Instances   int     `json:"instances"`
+	Jobs        int     `json:"jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// MemoHitRate is the fraction of jobs served without a fresh
+	// simulation: coalesced by router single-flight or answered from an
+	// instance memo cache.
+	MemoHitRate float64   `json:"memo_hit_rate"`
+	Failovers   int64     `json:"failovers"`
+	Retries     int64     `json:"retries"`
+	Latency     Quantiles `json:"latency_ms"`
+}
+
+// runFleetPhase boots three gpusimd instances and a router over
+// loopback, fires the job storm through the router, and hard-kills one
+// instance after a third of the submissions are in flight.
+func runFleetPhase(jobs int, quick bool) (*FleetPoint, error) {
+	const nInstances = 3
+	type inst struct {
+		svc    *service.Service
+		server *http.Server
+		ln     net.Listener
+	}
+	var fleet []*inst
+	var urls []string
+	for i := 0; i < nInstances; i++ {
+		svc, err := service.New(service.Config{Workers: 2, QueueDepth: jobs + 8})
+		if err != nil {
+			return nil, err
+		}
+		svc.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		in := &inst{svc: svc, ln: ln, server: &http.Server{Handler: service.Handler(svc)}}
+		go in.server.Serve(ln)
+		defer in.server.Close()
+		defer in.svc.Close()
+		fleet = append(fleet, in)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+
+	r, err := cluster.New(cluster.Config{
+		Instances:        urls,
+		ProbeInterval:    100 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  500 * time.Millisecond,
+		Retry:            cluster.RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 250 * time.Millisecond},
+		Seed:             1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	r.Start()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rserver := &http.Server{Handler: cluster.Handler(r)}
+	go rserver.Serve(rln)
+	defer rserver.Close()
+	base := "http://" + rln.Addr().String()
+
+	scale, sms := 4, 4
+	if quick {
+		scale, sms = 8, 2
+	}
+	bodies := make([]string, 4)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(
+			`{"workload":"bfs","policy":"static","scale":%d,"sms":%d,"seed":%d,"client":"benchreg-fleet"}`,
+			scale, sms, i)
+	}
+
+	var lat obs.Histogram
+	var mu sync.Mutex
+	var firstErr error
+	var coalesced atomic.Int64
+	var wg sync.WaitGroup
+	killAt := jobs / 3
+	start := time.Now()
+	sem := make(chan struct{}, 8)
+	for i := 0; i < jobs; i++ {
+		if i == killAt {
+			// One instance dies under load: its in-flight jobs must fail
+			// over and the rest of the storm route around it.
+			fleet[0].server.Close()
+			fleet[0].svc.Close()
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json",
+				strings.NewReader(bodies[i%len(bodies)]))
+			if err == nil {
+				var view cluster.JobView
+				json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if view.State != service.StateDone {
+					err = fmt.Errorf("fleet job %s ended %q (%+v)", view.ID, view.State, view.Error)
+				} else if view.Coalesced {
+					coalesced.Add(1)
+				}
+			}
+			lat.Observe(time.Since(t0).Seconds())
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, fmt.Errorf("benchreg fleet phase: %w", firstErr)
+	}
+
+	m := r.Metrics()
+	s := lat.Snapshot()
+	return &FleetPoint{
+		Instances:   nInstances,
+		Jobs:        jobs,
+		WallSeconds: wall,
+		JobsPerSec:  float64(jobs) / wall,
+		MemoHitRate: float64(coalesced.Load()) / float64(jobs),
+		Failovers:   m.Counter("cluster.failovers").Value(),
+		Retries:     m.Counter("cluster.retries").Value(),
+		Latency: Quantiles{
+			Count: s.Count,
+			P50:   s.Quantile(0.50) * 1000,
+			P90:   s.Quantile(0.90) * 1000,
+			P99:   s.Quantile(0.99) * 1000,
+			Max:   s.Max * 1000,
+		},
+	}, nil
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"regmutex/internal/service"
+)
+
+// RetryPolicy tunes the client's same-instance retry loop.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per instance, first attempt included
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 25ms); attempt n
+	// draws a full-jitter delay uniform in [0, min(MaxDelay, Base*2^n)].
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window (default 1s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// attemptError is one failed HTTP exchange, classified for the caller:
+// terminal errors (4xx: the request itself is wrong) must not be retried
+// anywhere; draining means the instance is shutting down gracefully —
+// healthy, but not for new work; everything else indicts the instance
+// and is retried here and ultimately failed over by the router.
+type attemptError struct {
+	status     int // 0 = transport error
+	body       *service.ErrorBody
+	err        error
+	retryAfter time.Duration
+	terminal   bool
+	draining   bool
+}
+
+func (e *attemptError) Error() string {
+	if e.err != nil {
+		return e.err.Error()
+	}
+	if e.body != nil {
+		return fmt.Sprintf("HTTP %d: %s", e.status, e.body.Error())
+	}
+	return fmt.Sprintf("HTTP %d", e.status)
+}
+
+// client is the router's resilient HTTP client: per-request deadlines,
+// bounded retries with exponential backoff + full jitter (seeded, so
+// chaos tests replay identically), and Retry-After-aware 429 handling.
+// Idempotency makes blind POST retries safe here: identical jobs
+// single-flight through the instance memo, keyed on the request
+// fingerprint, so a duplicate submission costs a cache hit, not a second
+// simulation.
+type client struct {
+	hc      *http.Client
+	retry   RetryPolicy
+	timeout time.Duration // per-attempt deadline
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	sleep   func(ctx context.Context, d time.Duration) error // injectable for tests
+	onRetry func(reason string)                              // metrics hook
+}
+
+func newClient(retry RetryPolicy, timeout time.Duration, seed int64, onRetry func(string)) *client {
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	if onRetry == nil {
+		onRetry = func(string) {}
+	}
+	return &client{
+		hc:      &http.Client{},
+		retry:   retry.withDefaults(),
+		timeout: timeout,
+		rng:     rand.New(rand.NewSource(seed)),
+		sleep:   sleepCtx,
+		onRetry: onRetry,
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff draws the full-jitter delay for attempt n (0-based), floored
+// by the server's Retry-After when one was given.
+func (c *client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	window := c.retry.BaseDelay << attempt
+	if window > c.retry.MaxDelay || window <= 0 {
+		window = c.retry.MaxDelay
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(window) + 1))
+	c.mu.Unlock()
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// attempt performs one HTTP exchange, decoding a JSON response into out
+// (ignored when nil). A non-2xx status or transport failure returns an
+// *attemptError.
+func (c *client) attempt(ctx context.Context, method, url string, in, out any) *attemptError {
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return &attemptError{err: err, terminal: true}
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, body)
+	if err != nil {
+		return &attemptError{err: err, terminal: true}
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Transport failure — but if the *parent* context died, the
+		// caller is gone and retrying is pointless.
+		if ctx.Err() != nil {
+			return &attemptError{err: ctx.Err(), terminal: true}
+		}
+		return &attemptError{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return &attemptError{err: fmt.Errorf("decode %s: %w", url, err)}
+			}
+		}
+		return nil
+	}
+	ae := &attemptError{status: resp.StatusCode}
+	var wrapped struct {
+		Error *service.ErrorBody `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&wrapped) == nil && wrapped.Error != nil {
+		ae.body = wrapped.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil && sec > 0 {
+			ae.retryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable &&
+		ae.body != nil && ae.body.Code == service.CodeDraining:
+		ae.draining = true
+	case resp.StatusCode/100 == 4 && resp.StatusCode != http.StatusTooManyRequests:
+		ae.terminal = true
+	}
+	return ae
+}
+
+// do runs attempt under the retry policy: transport errors, 5xx, and 429
+// are retried with backoff (Retry-After respected as the floor); 4xx and
+// draining 503s return immediately for the router to classify.
+func (c *client) do(ctx context.Context, method, url string, in, out any) *attemptError {
+	var last *attemptError
+	for i := 0; i < c.retry.MaxAttempts; i++ {
+		if i > 0 {
+			c.onRetry(retryReason(last))
+			if err := c.sleep(ctx, c.backoff(i-1, last.retryAfter)); err != nil {
+				return &attemptError{err: err, terminal: true}
+			}
+		}
+		last = c.attempt(ctx, method, url, in, out)
+		if last == nil {
+			return nil
+		}
+		if last.terminal || last.draining {
+			return last
+		}
+	}
+	return last
+}
+
+func retryReason(e *attemptError) string {
+	switch {
+	case e == nil:
+		return "unknown"
+	case e.status == 0:
+		return "transport"
+	default:
+		return strconv.Itoa(e.status)
+	}
+}

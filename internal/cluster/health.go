@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// instance is the router's view of one gpusimd backend: identity, the
+// per-instance circuit breaker (passive, request-outcome driven), and
+// the probed health/load state (active, /readyz driven). Both gates must
+// pass for the instance to receive new work.
+type instance struct {
+	name string // host:port — metric label and log key
+	base string // http://host:port
+
+	breaker  *breaker
+	inflight atomic.Int64 // router-side requests currently against this instance
+
+	mu          sync.Mutex
+	ready       bool // last probe succeeded (or no probe has run yet)
+	draining    bool // alive but refusing new work (graceful shutdown)
+	everProbed  bool
+	queued      int // /readyz load hints
+	running     int
+	memoLen     int
+	consecFails int
+}
+
+// readyzBody is the instance's /readyz response shape.
+type readyzBody struct {
+	Status  string `json:"status"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	MemoLen int    `json:"memo_len"`
+}
+
+// routable reports whether new work may be sent: probed healthy, not
+// draining, and the breaker admits traffic. Before the first probe
+// completes the instance is optimistically routable — the breaker
+// catches a dead boot-time instance after threshold failures.
+func (in *instance) routable() bool {
+	in.mu.Lock()
+	ok := (in.ready || !in.everProbed) && !in.draining
+	in.mu.Unlock()
+	return ok && in.breaker.allow()
+}
+
+// load returns the scoring inputs: last probed queue depth + running
+// jobs, and the router's own in-flight count (fresher than any probe).
+func (in *instance) load() (queued, flight int) {
+	in.mu.Lock()
+	queued = in.queued + in.running
+	in.mu.Unlock()
+	return queued, int(in.inflight.Load())
+}
+
+// markDraining records a passive drain signal (a 503 draining response
+// seen on the request path) without waiting for the next probe.
+func (in *instance) markDraining() {
+	in.mu.Lock()
+	in.draining = true
+	in.mu.Unlock()
+}
+
+// probeOnce hits the instance's /readyz and folds the outcome in:
+// 200 -> healthy with fresh load hints; 503 draining -> alive but not
+// routable; connection failure -> consecutive-failure count, ejecting
+// (ready=false) once it reaches ejectAfter. Returns true when the probe
+// reached the instance at all.
+func (in *instance) probeOnce(ctx context.Context, hc *http.Client, ejectAfter int) bool {
+	req, err := http.NewRequestWithContext(ctx, "GET", in.base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := hc.Do(req)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.everProbed = true
+	if err != nil {
+		in.consecFails++
+		if in.consecFails >= ejectAfter {
+			in.ready = false
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	var body readyzBody
+	json.NewDecoder(resp.Body).Decode(&body)
+	in.consecFails = 0
+	in.queued, in.running, in.memoLen = body.Queued, body.Running, body.MemoLen
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		in.ready, in.draining = true, false
+	case resp.StatusCode == http.StatusServiceUnavailable && body.Status == "draining":
+		in.ready, in.draining = true, true
+	default:
+		// Answering but unwell (unexpected status): treat like a failed
+		// probe so a wedged instance is ejected, not routed to.
+		in.consecFails++
+		if in.consecFails >= ejectAfter {
+			in.ready = false
+		}
+		return false
+	}
+	return true
+}
+
+// probeLoop drives probeOnce on every instance until stop closes. The
+// router runs one loop; tests may call probeAll directly for
+// deterministic stepping.
+func (r *Router) probeLoop(stop <-chan struct{}) {
+	tick := time.NewTicker(r.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll probes every instance once, concurrently, and updates the
+// probe metrics.
+func (r *Router) probeAll() {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, in := range r.insts {
+		wg.Add(1)
+		go func(in *instance) {
+			defer wg.Done()
+			if !in.probeOnce(ctx, r.probeClient, r.cfg.EjectAfter) {
+				r.metrics.Counter("cluster.probe_failures").Inc()
+			}
+		}(in)
+	}
+	wg.Wait()
+}

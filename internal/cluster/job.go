@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"regmutex/internal/service"
+)
+
+// Job is one submission accepted by the router. It mirrors the instance
+// job's lifecycle (queued -> running -> done|failed|canceled) one level
+// up, with its own event buffer so a client streaming from the router
+// sees a stable, resumable sequence no matter how many instance
+// failovers happen underneath.
+type Job struct {
+	ID  string
+	Req service.SubmitRequest
+	FP  uint64
+
+	mu         sync.Mutex
+	state      string
+	instance   string // current / final placement (name)
+	remoteID   string // job ID on that instance
+	attempts   int    // instances tried
+	coalesced  bool   // served by router-side single-flight or remote memo
+	err        *service.ErrorBody
+	result     *service.JobResult
+	acceptedAt time.Time
+	events     []service.Event
+	changed    chan struct{}
+	done       chan struct{}
+	canceled   bool
+}
+
+// JobView is the router's JSON shape for a job.
+type JobView struct {
+	ID          string             `json:"id"`
+	State       string             `json:"state"`
+	Fingerprint string             `json:"fingerprint"`
+	Instance    string             `json:"instance,omitempty"`
+	RemoteID    string             `json:"remote_id,omitempty"`
+	Attempts    int                `json:"attempts,omitempty"`
+	Coalesced   bool               `json:"coalesced,omitempty"`
+	Error       *service.ErrorBody `json:"error,omitempty"`
+	Result      *service.JobResult `json:"result,omitempty"`
+}
+
+func newJob(id string, req service.SubmitRequest) *Job {
+	j := &Job{
+		ID:         id,
+		Req:        req,
+		FP:         req.Fingerprint(),
+		state:      service.StateQueued,
+		acceptedAt: time.Now(),
+		changed:    make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	j.events = append(j.events, service.Event{Seq: 0, Type: "state", State: service.StateQueued})
+	return j
+}
+
+func terminal(state string) bool {
+	return state == service.StateDone || state == service.StateFailed || state == service.StateCanceled
+}
+
+// publish appends an event (re-sequenced into this job's buffer) and
+// wakes every watcher.
+func (j *Job) publish(ev service.Event) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// setState transitions the job; terminal states are sticky.
+func (j *Job) setState(state string, err *service.ErrorBody, result *service.JobResult) bool {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	if err != nil {
+		j.err = err
+	}
+	if result != nil {
+		j.result = result
+	}
+	ev := service.Event{Seq: len(j.events), Type: "state", State: state}
+	if err != nil {
+		ev.Msg = err.Message
+	}
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	if terminal(state) {
+		close(j.done)
+	}
+	j.mu.Unlock()
+	return true
+}
+
+// assign records a placement attempt and publishes it as a log event so
+// stream watchers see failovers happen.
+func (j *Job) assign(instance, remoteID string) {
+	j.mu.Lock()
+	j.instance, j.remoteID = instance, remoteID
+	j.attempts++
+	n := j.attempts
+	j.mu.Unlock()
+	j.publish(service.Event{Type: "log",
+		Msg: fmt.Sprintf("routed to %s as %s (attempt %d)", instance, remoteID, n)})
+}
+
+func (j *Job) placement() (instance, remoteID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.instance, j.remoteID
+}
+
+func (j *Job) setCoalesced() {
+	j.mu.Lock()
+	j.coalesced = true
+	j.mu.Unlock()
+}
+
+// markCanceled flags client intent; the routing goroutine observes it
+// between attempts (and through its context mid-attempt).
+func (j *Job) markCanceled() {
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+}
+
+func (j *Job) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// State returns the job's current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the terminal result and error (nil while running).
+func (j *Job) Result() (*service.JobResult, *service.ErrorBody) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// View snapshots the job for JSON serving.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:          j.ID,
+		State:       j.state,
+		Fingerprint: fmt.Sprintf("%016x", j.FP),
+		Instance:    j.instance,
+		RemoteID:    j.remoteID,
+		Attempts:    j.attempts,
+		Coalesced:   j.coalesced,
+		Error:       j.err,
+		Result:      j.result,
+	}
+}
+
+// EventsSince returns every event with Seq >= since plus the broadcast
+// channel — the same long-poll primitive the instance jobs use, so the
+// router's SSE handler can share the resume semantics.
+func (j *Job) EventsSince(since int) ([]service.Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []service.Event
+	if since < len(j.events) {
+		out = append(out, j.events[since:]...)
+	}
+	return out, j.changed
+}
+
+func (j *Job) age() time.Duration { return time.Since(j.acceptedAt) }

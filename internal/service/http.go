@@ -53,10 +53,16 @@ func WithSSEKeepalive(d time.Duration) HandlerOption {
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        job status + result
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/jobs/{id}/events SSE event stream (?since=N resumes,
-//	                            ": ping" keepalives while idle)
+//	GET    /v1/jobs/{id}/events SSE event stream; every frame carries a
+//	                            monotonically increasing `id:` so clients
+//	                            (and the router's stream proxy) resume
+//	                            after a reconnect via the standard
+//	                            Last-Event-ID header (?since=N also
+//	                            works); ": ping" keepalives while idle
 //	GET    /healthz             liveness: always 200; body says ok|draining
-//	GET    /readyz              readiness: 503 while draining
+//	GET    /readyz              readiness: 503 + Retry-After while
+//	                            draining; body carries queued/running/
+//	                            memo_len load hints for router scoring
 //	GET    /metrics             obs metrics (?format=csv|prometheus)
 //	/debug/pprof/*              profiling, only with WithPprof(true)
 //
@@ -110,11 +116,22 @@ func Handler(s *Service, opts ...HandlerOption) http.Handler {
 		})
 	})
 	handle("GET /readyz", "readyz", func(w http.ResponseWriter, r *http.Request) {
+		// The body doubles as the fleet router's load probe: queue depth,
+		// running jobs, and memo size feed its weighted instance scoring,
+		// so readiness and load travel in one request.
+		body := map[string]any{
+			"status":   "ok",
+			"queued":   s.QueueLen(),
+			"running":  s.Running(),
+			"memo_len": s.MemoLen(),
+		}
 		if s.Draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			body["status"] = "draining"
+			w.Header().Set("Retry-After", "10")
+			writeJSON(w, http.StatusServiceUnavailable, body)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+		writeJSON(w, http.StatusOK, body)
 	})
 	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.RefreshGauges()
@@ -193,13 +210,22 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, keepalive 
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	since, _ := strconv.Atoi(r.URL.Query().Get("since"))
+	// Last-Event-ID (set by EventSource and the router's stream proxy on
+	// reconnect) names the last frame the client saw; resume just past it.
+	// It wins over ?since so a reconnecting client can keep its original
+	// URL untouched.
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil {
+			since = n + 1
+		}
+	}
 	ping := time.NewTicker(keepalive)
 	defer ping.Stop()
 	for {
 		events, changed := j.EventsSince(since)
 		for _, ev := range events {
 			data, _ := json.Marshal(ev)
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
 			since = ev.Seq + 1
 			if ev.Type == "state" && terminal(ev.State) {
 				flusher.Flush()
@@ -220,7 +246,10 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, keepalive 
 	}
 }
 
-func statusFor(code string) int {
+// HTTPStatus maps an ErrorBody code to its HTTP status. Exported so the
+// cluster router's HTTP layer answers with exactly the statuses an
+// instance would.
+func HTTPStatus(code string) int {
 	switch code {
 	case CodeBadRequest, CodeParseError, CodeUnknownWorkload, CodeUnknownPolicy, CodeUnknownExperiment:
 		return http.StatusBadRequest
@@ -241,7 +270,7 @@ func writeError(w http.ResponseWriter, body *ErrorBody) {
 	if body.RetryAfterSec > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterSec))
 	}
-	writeJSON(w, statusFor(body.Code), map[string]*ErrorBody{"error": body})
+	writeJSON(w, HTTPStatus(body.Code), map[string]*ErrorBody{"error": body})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

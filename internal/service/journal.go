@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 )
@@ -16,8 +17,9 @@ import (
 // re-queues. Client-canceled and completed jobs have finish records and
 // stay dead.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    *os.File
+	sync bool
 }
 
 // journalRecord is one line of the journal file.
@@ -28,10 +30,14 @@ type journalRecord struct {
 	End string         `json:"state,omitempty"` // finish only
 }
 
-// openJournal reads any existing records at path (tolerating a torn
-// final line from a crash mid-write) and opens the file for appending.
-// An empty path disables journalling.
-func openJournal(path string) (*journal, []journalRecord, error) {
+// openJournal reads any existing records at path and opens the file for
+// appending. A torn final line — the partial write a crash mid-append
+// leaves behind — is skipped with a structured warning; a record that
+// fails to parse anywhere *before* the final line is not a crash
+// artifact but corruption, and fails the open rather than silently
+// dropping accepted jobs. sync=false skips the per-append fsync. An
+// empty path disables journalling.
+func openJournal(path string, sync bool, log *slog.Logger) (*journal, []journalRecord, error) {
 	if path == "" {
 		return nil, nil, nil
 	}
@@ -39,12 +45,26 @@ func openJournal(path string) (*journal, []journalRecord, error) {
 	if data, err := os.ReadFile(path); err == nil {
 		sc := bufio.NewScanner(bytes.NewReader(data))
 		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		torn := -1 // line number of a record that failed to parse
+		line := 0
 		for sc.Scan() {
+			line++
+			if torn >= 0 {
+				return nil, nil, fmt.Errorf("journal %s: corrupt record at line %d (not the final line — refusing to replay)", path, torn)
+			}
 			var rec journalRecord
 			if json.Unmarshal(sc.Bytes(), &rec) != nil {
-				continue // torn tail line
+				torn = line
+				continue
 			}
 			records = append(records, rec)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+		}
+		if torn >= 0 {
+			log.Warn("journal: skipping torn final record (crash mid-append)",
+				"subsystem", "journal", "path", path, "line", torn)
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, nil, err
@@ -53,11 +73,12 @@ func openJournal(path string) (*journal, []journalRecord, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &journal{f: f}, records, nil
+	return &journal{f: f, sync: sync}, records, nil
 }
 
-// append writes one record and flushes it to the OS before returning, so
-// an accepted job survives an immediate crash.
+// append writes one record and (unless fsync is disabled) flushes it to
+// stable storage before returning, so an accepted job survives an
+// immediate crash.
 func (j *journal) append(rec journalRecord) error {
 	if j == nil {
 		return nil
@@ -70,6 +91,9 @@ func (j *journal) append(rec journalRecord) error {
 	defer j.mu.Unlock()
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	if !j.sync {
+		return nil
 	}
 	return j.f.Sync()
 }

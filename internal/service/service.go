@@ -48,6 +48,11 @@ type Config struct {
 	// JournalPath enables crash-safe job persistence ("" = off):
 	// accepted-but-unfinished jobs are re-queued on restart.
 	JournalPath string
+	// JournalNoSync skips the per-append fsync. Throughput-friendly for
+	// fleet members fronted by a router (the router's own journal replays
+	// jobs an instance loses to a crash); the default false keeps every
+	// accepted job durable before the 202 goes out.
+	JournalNoSync bool
 	// Logger receives structured job-lifecycle logs (accept, finish,
 	// drain) with job IDs for correlation. Nil discards them.
 	Logger *slog.Logger
@@ -95,7 +100,11 @@ type Service struct {
 // the replayed queue deterministically.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	jn, records, err := openJournal(cfg.JournalPath)
+	jlog := cfg.Logger
+	if jlog == nil {
+		jlog = obs.NopLogger()
+	}
+	jn, records, err := openJournal(cfg.JournalPath, !cfg.JournalNoSync, jlog)
 	if err != nil {
 		return nil, err
 	}
@@ -597,6 +606,23 @@ func (s *Service) Metrics() *obs.Registry { return s.metrics }
 
 // QueueLen reports how many jobs are waiting.
 func (s *Service) QueueLen() int { return s.queue.len() }
+
+// Running reports how many jobs are currently executing — a /readyz load
+// hint for the fleet router's in-flight scorer.
+func (s *Service) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.State() == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoLen reports how many results the pool's memo cache holds.
+func (s *Service) MemoLen() int { return s.pool.MemoLen() }
 
 // Draining reports whether Drain has begun.
 func (s *Service) Draining() bool { return s.draining.Load() }
