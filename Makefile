@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke chaos-smoke fleet-smoke
+.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke chaos-smoke fleet-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,10 @@ test:
 # smoke run (capture a trace, validate the emitted JSON), and the
 # gpusimd daemon smoke run (boot, serve a job over HTTP, stream its
 # events, verify request-ID + Prometheus telemetry, drain cleanly on
-# SIGTERM), and the fleet gates: the seeded chaos matrix under -race
-# and the gpusimrouter three-instance selftest with a mid-run kill.
+# SIGTERM), the fleet gates: the seeded chaos matrix under -race
+# and the gpusimrouter three-instance selftest with a mid-run kill,
+# and the workload-spec load smoke (per-SLO-class histograms present
+# and nonzero).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -24,6 +26,7 @@ verify:
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) load-smoke
 
 # The benchmark-trajectory harness: run the fixed workload×policy
 # simulator matrix plus the gpusimd loopback load phase and write a
@@ -68,6 +71,15 @@ chaos-smoke:
 	$(GO) test -race -count=1 -timeout 300s \
 		-run 'TestChaosMatrix|TestChaosKillInstanceMidJob|TestDrainReroutesWithoutDroppingInFlight|TestJournalFailoverReplay' \
 		./internal/cluster/
+
+# Compile a tiny seeded workload spec (two cohorts, two SLO classes)
+# and drive it through benchreg's loopback load phase; -load-only
+# asserts every SLO class produced jobs with populated, nonzero latency
+# histograms — proves the spec -> schedule -> runner pipeline end to
+# end.
+load-smoke:
+	$(GO) run ./cmd/benchreg -quick -load-only -spec examples/workloads/load-smoke.yaml -out /tmp/benchreg-load-smoke.json
+	rm -f /tmp/benchreg-load-smoke.json
 
 # Boot a three-instance gpusimd fleet behind a gpusimrouter on loopback
 # ports, submit through the router, kill the instance that served the

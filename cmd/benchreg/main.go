@@ -1,29 +1,42 @@
 // Command benchreg runs the benchmark-trajectory harness: a fixed
-// workload×policy simulator matrix plus a gpusimd loopback load phase,
-// written as a schema-versioned BENCH_<date>.json so the repo carries a
-// comparable perf trajectory across commits.
+// workload×policy simulator matrix plus a workload-spec-driven gpusimd
+// loopback load phase, written as a schema-versioned BENCH_<date>.json
+// so the repo carries a comparable perf trajectory across commits.
 //
 //	benchreg                      # full matrix -> BENCH_<date>.json
 //	benchreg -quick -out b.json   # CI-sized smoke run
+//	benchreg -spec examples/workloads/bursty-mix.yaml -router
+//	benchreg -replay trace.jsonl -compress 10 -load-only
 //	benchreg -compare old.json new.json   # exit 1 on >10% regression
 //	benchreg -compare -threshold 0.05 old.json new.json
+//
+// Without -spec the load phase runs the legacy spec — the pre-pipeline
+// 4-seed storm synthesized from -jobs (a deprecated shim kept so old
+// invocations and old -compare baselines still measure the same
+// traffic).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"regmutex/internal/benchreg"
 	"regmutex/internal/obs"
+	"regmutex/internal/workspec"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized matrix (seconds, not minutes)")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
-	jobs := flag.Int("jobs", 0, "loopback load-phase request count (0 = mode default)")
+	spec := flag.String("spec", "", "workload spec (YAML-subset or JSON) driving the load phase (default: the legacy builtin)")
+	replay := flag.String("replay", "", "replay a recorded JSONL trace (gpusimd -record) as the load phase instead of a spec")
+	compress := flag.Float64("compress", 0, "divide schedule arrival offsets by this factor (0 or 1 = real time)")
+	loadOnly := flag.Bool("load-only", false, "skip the simulator matrix; run only the load (and -router) phases and assert per-SLO-class histograms are present and nonzero")
+	jobs := flag.Int("jobs", 0, "deprecated shim: legacy load-phase request count, synthesized into the builtin legacy spec (0 = mode default; ignored with -spec/-replay)")
 	par := flag.Int("par", 0, "SM-stepping workers inside each simulation (0 = GOMAXPROCS, 1 = serial; cycle counts identical at any value)")
-	router := flag.Bool("router", false, "add the fleet phase: the job storm through a gpusimrouter over 3 instances with one killed mid-load")
+	router := flag.Bool("router", false, "add the fleet phase: the schedule through a gpusimrouter over 3 instances with one killed mid-load")
 	compare := flag.Bool("compare", false, "compare two trajectory files: benchreg -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction (0.10 = 10%)")
 	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
@@ -51,9 +64,12 @@ func main() {
 		if err != nil {
 			fail(2, "%v", err)
 		}
-		regs, err := benchreg.Compare(old, cur, *threshold)
+		regs, warns, err := benchreg.Compare(old, cur, *threshold)
 		if err != nil {
 			fail(2, "%v", err)
+		}
+		for _, w := range warns {
+			fmt.Fprintf(os.Stderr, "benchreg: warning: %s\n", w)
 		}
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "benchreg: %d regression(s) beyond %.0f%%:\n", len(regs), 100**threshold)
@@ -66,9 +82,45 @@ func main() {
 		return
 	}
 
-	res, err := benchreg.Run(benchreg.Options{Quick: *quick, Jobs: *jobs, Par: *par, Fleet: *router, Logger: logger})
+	o := benchreg.Options{
+		Quick:    *quick,
+		Jobs:     *jobs,
+		Par:      *par,
+		Fleet:    *router,
+		Compress: *compress,
+		LoadOnly: *loadOnly,
+		Logger:   logger,
+	}
+	if *spec != "" && *replay != "" {
+		fail(2, "-spec and -replay are mutually exclusive")
+	}
+	if *spec != "" {
+		s, err := workspec.ParseFile(*spec)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		o.Spec = s
+	}
+	if *replay != "" {
+		recs, err := workspec.ReadTraceFile(*replay)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		sched, err := workspec.FromTrace("", recs)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		o.Schedule = sched
+	}
+
+	res, err := benchreg.Run(o)
 	if err != nil {
 		fail(1, "%v", err)
+	}
+	if *loadOnly {
+		if err := assertLoad(res); err != nil {
+			fail(1, "load smoke: %v", err)
+		}
 	}
 	path := *out
 	if path == "" {
@@ -77,12 +129,49 @@ func main() {
 	if err := res.WriteFile(path); err != nil {
 		fail(1, "%v", err)
 	}
-	fmt.Printf("benchreg: wrote %s (%d sim cells, %d service jobs, p99 %.1fms, memo hit rate %.0f%%)\n",
-		path, len(res.Sim), res.Service.Jobs, res.Service.Latency.P99, 100*res.Service.MemoHitRate)
+	fmt.Printf("benchreg: wrote %s (%d sim cells, spec %s, %d load jobs, p99 %.1fms, memo hit rate %.0f%%)\n",
+		path, len(res.Sim), res.Load.Spec, res.Load.Jobs, res.Service.Latency.P99, 100*res.Load.MemoHitRate)
+	for _, class := range sortedClasses(res.Load.Classes) {
+		c := res.Load.Classes[class]
+		fmt.Printf("benchreg:   slo %-10s %3d jobs, p50 %.1fms, p99 %.1fms, %d coalesced\n",
+			class, c.Jobs, c.Latency.P50, c.Latency.P99, c.Coalesced)
+	}
 	if res.Fleet != nil {
 		fmt.Printf("benchreg: fleet (1 of %d instances killed mid-load): %d jobs, p99 %.1fms, memo hit rate %.0f%%, %d failover(s), %d retrie(s)\n",
 			res.Fleet.Instances, res.Fleet.Jobs, res.Fleet.Latency.P99, 100*res.Fleet.MemoHitRate, res.Fleet.Failovers, res.Fleet.Retries)
 	}
+}
+
+// assertLoad is the load-smoke gate: the per-SLO-class series must
+// exist and be populated, or the spec pipeline is broken.
+func assertLoad(res *benchreg.Result) error {
+	if res.Load == nil {
+		return fmt.Errorf("no load section produced")
+	}
+	if len(res.Load.Classes) == 0 {
+		return fmt.Errorf("no SLO classes in load section")
+	}
+	for class, c := range res.Load.Classes {
+		if c.Jobs <= 0 {
+			return fmt.Errorf("slo class %q completed no jobs", class)
+		}
+		if c.Latency.Count <= 0 || c.Latency.Max <= 0 {
+			return fmt.Errorf("slo class %q has an empty latency histogram", class)
+		}
+		if c.Failed > 0 {
+			return fmt.Errorf("slo class %q had %d failed jobs", class, c.Failed)
+		}
+	}
+	return nil
+}
+
+func sortedClasses(classes map[string]benchreg.ClassPoint) []string {
+	out := make([]string, 0, len(classes))
+	for class := range classes {
+		out = append(out, class)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func fail(code int, format string, args ...any) {

@@ -36,6 +36,7 @@ import (
 
 	"regmutex/internal/obs"
 	"regmutex/internal/service"
+	"regmutex/internal/workspec"
 )
 
 // options carries the daemon's fully-parsed configuration: the service
@@ -56,6 +57,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
 	burst := flag.Int("burst", 8, "per-client burst allowance")
 	journal := flag.String("journal", "", "job journal path for crash recovery (empty = off)")
+	record := flag.String("record", "", "append every accepted submission (with arrival timestamps) to this JSONL trace for later replay (empty = off)")
 	journalFsync := flag.Bool("journal-fsync", true, "fsync the journal after every append (disable on router-fronted fleet members; the router's journal covers instance loss)")
 	drainWait := flag.Duration("drain", 60*time.Second, "max graceful drain time on SIGTERM")
 	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
@@ -76,6 +78,21 @@ func main() {
 	}
 	logger = logger.With("component", "gpusimd")
 
+	var recorder *workspec.TraceWriter
+	if *record != "" {
+		recorder, err = workspec.CreateTrace(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpusimd: -record: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := recorder.Close(); err != nil {
+				logger.Error("trace recorder", "err", err)
+			}
+		}()
+		logger.Info("recording accepted submissions", "path", *record)
+	}
+
 	o := options{
 		cfg: service.Config{
 			Workers:       *workers,
@@ -91,6 +108,9 @@ func main() {
 		},
 		logger: logger,
 		pprof:  *pprofOn,
+	}
+	if recorder != nil {
+		o.cfg.OnAccept = recorder.Record
 	}
 	if *selftest {
 		if err := runSelftest(o, *drainWait); err != nil {

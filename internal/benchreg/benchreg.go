@@ -1,7 +1,8 @@
 // Package benchreg is the benchmark-trajectory harness behind `make
 // bench` and cmd/benchreg: it measures the simulator's throughput over
 // a fixed workload×policy matrix, load-tests the gpusimd service path
-// over loopback HTTP, and writes the numbers as a schema-versioned
+// over loopback HTTP with a workload-spec-driven schedule
+// (internal/workspec), and writes the numbers as a schema-versioned
 // BENCH_<date>.json so successive commits accumulate a comparable
 // trajectory. Compare diffs two trajectory files and reports metric
 // regressions beyond a threshold — the CI tripwire against silently
@@ -9,6 +10,7 @@
 package benchreg
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -17,7 +19,6 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"regmutex/internal/harness"
@@ -26,10 +27,14 @@ import (
 	"regmutex/internal/service"
 	"regmutex/internal/sim"
 	"regmutex/internal/workloads"
+	"regmutex/internal/workspec"
 )
 
 // SchemaVersion stamps every trajectory file; Compare refuses to diff
 // across versions so a schema change can't masquerade as a regression.
+// Additive sections (load, spec identities) do NOT bump the version:
+// Compare warns and skips what the older point lacks instead of
+// failing, so the trajectory stays continuous across feature growth.
 const SchemaVersion = 1
 
 // Result is one trajectory point: everything a BENCH_<date>.json holds.
@@ -38,10 +43,16 @@ type Result struct {
 	Date          string        `json:"date"`
 	GoVersion     string        `json:"go_version"`
 	Quick         bool          `json:"quick"`
-	Sim           []SimPoint    `json:"sim"`
+	Sim           []SimPoint    `json:"sim,omitempty"`
 	Service       *ServicePoint `json:"service,omitempty"`
+	// Load is the workload-spec view of the load phase: per-SLO-class
+	// latency quantiles and counters, stamped with the spec identity.
+	// Older points (pre-spec pipeline) lack it; Compare warns and
+	// skips rather than failing.
+	Load *LoadPoint `json:"load,omitempty"`
 	// Fleet is the optional router load phase (-router); Compare only
-	// considers it when both trajectory points carry one.
+	// considers it when both trajectory points carry one with matching
+	// spec identity.
 	Fleet *FleetPoint `json:"fleet,omitempty"`
 }
 
@@ -58,13 +69,42 @@ type SimPoint struct {
 	InstrsPerSec float64 `json:"instrs_per_sec"`
 }
 
-// ServicePoint summarizes the gpusimd loopback load phase.
+// ServicePoint summarizes the gpusimd loopback load phase in the
+// pre-spec shape old trajectory points carry, so -compare keeps
+// working across the pipeline change. Spec/SpecID (absent on old
+// points) gate the comparison: a point produced by different traffic
+// is warned about, not diffed.
 type ServicePoint struct {
+	Spec        string    `json:"spec,omitempty"`
+	SpecID      string    `json:"spec_id,omitempty"`
 	Jobs        int       `json:"jobs"`
 	WallSeconds float64   `json:"wall_seconds"`
 	JobsPerSec  float64   `json:"jobs_per_sec"`
 	MemoHitRate float64   `json:"memo_hit_rate"`
 	Latency     Quantiles `json:"latency_ms"`
+}
+
+// LoadPoint is the workload-spec-native load section: which spec ran
+// (by name and content identity), and the per-SLO-class breakdown.
+type LoadPoint struct {
+	Spec        string  `json:"spec"`
+	SpecID      string  `json:"spec_id"`
+	Seed        uint64  `json:"seed"`
+	Jobs        int     `json:"jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// MemoHitRate is the client-observed coalesced fraction — the memo
+	// economics under the spec's popularity skew.
+	MemoHitRate float64               `json:"memo_hit_rate"`
+	Classes     map[string]ClassPoint `json:"slo_classes"`
+}
+
+// ClassPoint is one SLO class's latency and outcome summary.
+type ClassPoint struct {
+	Jobs      int64     `json:"jobs"`
+	Failed    int64     `json:"failed"`
+	Coalesced int64     `json:"coalesced"`
+	Latency   Quantiles `json:"latency_ms"`
 }
 
 // Quantiles is a latency distribution summary in milliseconds.
@@ -76,6 +116,16 @@ type Quantiles struct {
 	Max   float64 `json:"max"`
 }
 
+func quantilesOf(s obs.HistogramSnapshot) Quantiles {
+	return Quantiles{
+		Count: s.Count,
+		P50:   s.Quantile(0.50) * 1000,
+		P90:   s.Quantile(0.90) * 1000,
+		P99:   s.Quantile(0.99) * 1000,
+		Max:   s.Max * 1000,
+	}
+}
+
 // Options tunes a harness run.
 type Options struct {
 	// Quick shrinks the matrix and grids for CI smoke (seconds, not
@@ -85,15 +135,31 @@ type Options struct {
 	// Workloads and Policies override the matrix (nil = mode default).
 	Workloads []string
 	Policies  []string
-	// Jobs is the loopback load-phase request count (0 = mode default).
+	// Spec drives the load (and fleet) phases. Nil synthesizes the
+	// legacy spec — the pre-pipeline 4-seed bfs/static storm — from
+	// Jobs and Quick, keeping old CLI invocations and old -compare
+	// baselines meaningful.
+	Spec *workspec.Spec
+	// Schedule overrides Spec with an already-compiled schedule — the
+	// trace-replay path (cmd/benchreg -replay).
+	Schedule *workspec.Schedule
+	// Jobs is the legacy-shim request count (0 = mode default); only
+	// consulted when Spec and Schedule are nil.
 	Jobs int
+	// Compress divides every schedule arrival offset (workspec
+	// RunnerOptions.Compress): replay time-compressed traces or slow
+	// specs without editing them.
+	Compress float64
+	// LoadOnly skips the simulator matrix: only the load (and, with
+	// Fleet, router) phases run. The spec smoke gate uses it.
+	LoadOnly bool
 	// Par is each simulation's intra-run parallelism
 	// (sim.WithParallelism): 0 = GOMAXPROCS, 1 = serial. Simulated
 	// cycle counts are identical at every value; only the wall-clock
 	// (and hence cycles_per_sec) responds to it.
 	Par int
-	// Fleet adds the router load phase: the job storm through a
-	// gpusimrouter over three instances with one killed mid-load.
+	// Fleet adds the router load phase: the same schedule through a
+	// gpusimrouter over three instances with one killed mid-storm.
 	Fleet bool
 	// Logger narrates phases; nil discards.
 	Logger *slog.Logger
@@ -136,7 +202,25 @@ func (o Options) jobs() int {
 	return 64
 }
 
-// Run executes both phases and assembles the trajectory point.
+// schedule resolves the load-phase schedule: an explicit Schedule, a
+// compiled Spec, or the legacy shim synthesized from the old CLI
+// surface (Jobs + mode defaults).
+func (o Options) schedule() (*workspec.Schedule, error) {
+	if o.Schedule != nil {
+		return o.Schedule, nil
+	}
+	spec := o.Spec
+	if spec == nil {
+		scale, sms := 4, 4
+		if o.Quick {
+			scale, sms = 8, 2
+		}
+		spec = workspec.Legacy(o.jobs(), scale, sms, o.Quick)
+	}
+	return workspec.Compile(spec)
+}
+
+// Run executes the phases and assembles the trajectory point.
 func Run(o Options) (*Result, error) {
 	res := &Result{
 		SchemaVersion: SchemaVersion,
@@ -145,25 +229,30 @@ func Run(o Options) (*Result, error) {
 		Quick:         o.Quick,
 	}
 	log := o.logger()
-	workloadNames, policies, scale, sms := o.matrix()
-	log.Info("sim phase", "workloads", len(workloadNames), "policies", len(policies), "scale", scale, "sms", sms)
-	sims, err := runSimPhase(workloadNames, policies, scale, sms, o.Par)
-	if err != nil {
-		return nil, err
+	if !o.LoadOnly {
+		workloadNames, policies, scale, sms := o.matrix()
+		log.Info("sim phase", "workloads", len(workloadNames), "policies", len(policies), "scale", scale, "sms", sms)
+		sims, err := runSimPhase(workloadNames, policies, scale, sms, o.Par)
+		if err != nil {
+			return nil, err
+		}
+		res.Sim = sims
 	}
-	res.Sim = sims
 
-	jobs := o.jobs()
-	log.Info("service phase", "jobs", jobs)
-	svc, err := runServicePhase(jobs, o.Quick)
+	sched, err := o.schedule()
 	if err != nil {
 		return nil, err
 	}
-	res.Service = svc
+	log.Info("load phase", "spec", sched.SpecName, "spec_id", sched.SpecID, "jobs", len(sched.Items))
+	svc, load, err := runServicePhase(sched, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Service, res.Load = svc, load
 
 	if o.Fleet {
-		log.Info("fleet phase", "jobs", jobs, "instances", 3)
-		fleet, err := runFleetPhase(jobs, o.Quick)
+		log.Info("fleet phase", "spec", sched.SpecName, "jobs", len(sched.Items), "instances", 3)
+		fleet, err := runFleetPhase(sched, o)
 		if err != nil {
 			return nil, err
 		}
@@ -218,94 +307,81 @@ func runSimPhase(workloadNames, policies []string, scale, sms, par int) ([]SimPo
 	return out, nil
 }
 
-// runServicePhase boots a real gpusimd service on a loopback listener,
-// fires concurrent ?wait=1 submissions (with deliberate duplicates so
-// the memo cache sees hits), and reads the latency distribution from
-// the client side plus the hit rate from the service registry.
-func runServicePhase(jobs int, quick bool) (*ServicePoint, error) {
-	svc, err := service.New(service.Config{Workers: 4, QueueDepth: jobs + 8})
+// runServicePhase boots a real gpusimd service on a loopback listener
+// and drives the compiled schedule at it through the workspec runner.
+// The ServicePoint carries the legacy aggregate view (server-side memo
+// hit rate included); the LoadPoint carries the per-SLO-class
+// breakdown under the spec's identity.
+func runServicePhase(sched *workspec.Schedule, o Options) (*ServicePoint, *LoadPoint, error) {
+	svc, err := service.New(service.Config{Workers: 4, QueueDepth: len(sched.Items) + 8, Par: o.Par})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer svc.Close()
 	svc.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	server := &http.Server{Handler: service.Handler(svc)}
 	go server.Serve(ln)
 	defer server.Close()
-	base := "http://" + ln.Addr().String()
 
-	scale, sms := 4, 4
-	if quick {
-		scale, sms = 8, 2
-	}
-	// 4 distinct request shapes cycled across the load: duplicates
-	// coalesce in the memo cache, so the measured hit rate is real.
-	bodies := make([]string, 4)
-	for i := range bodies {
-		bodies[i] = fmt.Sprintf(
-			`{"workload":"bfs","policy":"static","scale":%d,"sms":%d,"seed":%d,"client":"benchreg"}`,
-			scale, sms, i)
-	}
-
-	var lat obs.Histogram
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	start := time.Now()
-	sem := make(chan struct{}, 8)
-	for i := 0; i < jobs; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			t0 := time.Now()
-			resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json",
-				strings.NewReader(bodies[i%len(bodies)]))
-			if err == nil {
-				var view service.JobView
-				json.NewDecoder(resp.Body).Decode(&view)
-				resp.Body.Close()
-				if view.State != service.StateDone {
-					err = fmt.Errorf("job %s ended %q (%+v)", view.ID, view.State, view.Error)
-				}
-			}
-			lat.Observe(time.Since(t0).Seconds())
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(i)
-	}
-	wg.Wait()
-	wall := time.Since(start).Seconds()
-	if firstErr != nil {
-		return nil, fmt.Errorf("benchreg load phase: %w", firstErr)
+	rr, err := workspec.Run(context.Background(), sched, workspec.RunnerOptions{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Compress: o.Compress,
+		Logger:   o.Logger,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchreg load phase: %w", err)
 	}
 
 	svc.RefreshGauges()
 	hitRate, _ := svc.Metrics().Snapshot().Get("service.memo_hit_rate")
-	s := lat.Snapshot()
-	return &ServicePoint{
-		Jobs:        jobs,
-		WallSeconds: wall,
-		JobsPerSec:  float64(jobs) / wall,
+	load := loadPoint(sched, rr)
+	svcPoint := &ServicePoint{
+		Spec:        sched.SpecName,
+		SpecID:      sched.SpecID,
+		Jobs:        rr.Jobs,
+		WallSeconds: rr.WallSeconds,
+		JobsPerSec:  rr.JobsPerSec,
 		MemoHitRate: hitRate,
-		Latency: Quantiles{
-			Count: s.Count,
-			P50:   s.Quantile(0.50) * 1000,
-			P90:   s.Quantile(0.90) * 1000,
-			P99:   s.Quantile(0.99) * 1000,
-			Max:   s.Max * 1000,
-		},
-	}, nil
+		Latency:     quantilesOf(mergedLatency(rr)),
+	}
+	return svcPoint, load, nil
+}
+
+// loadPoint renders a runner result as the trajectory's load section.
+func loadPoint(sched *workspec.Schedule, rr *workspec.RunResult) *LoadPoint {
+	lp := &LoadPoint{
+		Spec:        sched.SpecName,
+		SpecID:      sched.SpecID,
+		Seed:        sched.Seed,
+		Jobs:        rr.Jobs,
+		WallSeconds: rr.WallSeconds,
+		JobsPerSec:  rr.JobsPerSec,
+		MemoHitRate: rr.MemoHitRate,
+		Classes:     map[string]ClassPoint{},
+	}
+	for class, cs := range rr.Classes {
+		lp.Classes[class] = ClassPoint{
+			Jobs:      cs.Jobs,
+			Failed:    cs.Failed,
+			Coalesced: cs.Coalesced,
+			Latency:   quantilesOf(cs.Latency),
+		}
+	}
+	return lp
+}
+
+// mergedLatency folds every class histogram into one aggregate
+// distribution — the legacy all-traffic latency view.
+func mergedLatency(rr *workspec.RunResult) obs.HistogramSnapshot {
+	var all obs.HistogramSnapshot
+	for _, cs := range rr.Classes {
+		all.Merge(cs.Latency)
+	}
+	return all
 }
 
 // WriteFile persists the result as indented JSON.
@@ -338,20 +414,34 @@ func DefaultFilename() string {
 	return "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
 }
 
+// specsComparable decides whether two load-bearing sections measured
+// the same traffic. Old points (pre-spec pipeline) carry no identity;
+// they ran the hardcoded 4-shape storm, which the legacy specs
+// reproduce — so an empty old identity matches a legacy-family new
+// point and the trajectory stays unbroken across the redesign.
+func specsComparable(oldID, newID, newName string) bool {
+	if oldID == newID {
+		return true
+	}
+	return oldID == "" && strings.HasPrefix(newName, "legacy")
+}
+
 // Compare diffs two trajectory points and lists every regression beyond
 // threshold (a fraction: 0.10 = 10%). Throughput metrics regress by
 // dropping, latency metrics by rising. Cells present in old but missing
 // from new count as regressions — a benchmark silently vanishing must
-// not pass. Returns an error when the files are structurally
-// incomparable (schema or mode mismatch).
-func Compare(old, new_ *Result, threshold float64) ([]string, error) {
+// not pass. Additive schema growth is forward-compatible: a section the
+// older point predates, or a load/fleet section produced by a different
+// workload spec, is reported in warnings and skipped, never failed.
+// The error is reserved for structurally incomparable files (schema or
+// mode mismatch).
+func Compare(old, new_ *Result, threshold float64) (regs, warns []string, err error) {
 	if old.SchemaVersion != new_.SchemaVersion {
-		return nil, fmt.Errorf("schema mismatch: old v%d vs new v%d", old.SchemaVersion, new_.SchemaVersion)
+		return nil, nil, fmt.Errorf("schema mismatch: old v%d vs new v%d", old.SchemaVersion, new_.SchemaVersion)
 	}
 	if old.Quick != new_.Quick {
-		return nil, fmt.Errorf("mode mismatch: old quick=%v vs new quick=%v", old.Quick, new_.Quick)
+		return nil, nil, fmt.Errorf("mode mismatch: old quick=%v vs new quick=%v", old.Quick, new_.Quick)
 	}
-	var regs []string
 	lowerIsWorse := func(metric string, oldV, newV float64) {
 		if oldV > 0 && newV < oldV*(1-threshold) {
 			regs = append(regs, fmt.Sprintf("%s: %.4g -> %.4g (-%.1f%%, budget %.0f%%)",
@@ -378,20 +468,65 @@ func Compare(old, new_ *Result, threshold float64) ([]string, error) {
 		}
 		lowerIsWorse("sim "+key+" cycles_per_sec", op.CyclesPerSec, np.CyclesPerSec)
 	}
+
 	if old.Service != nil {
-		if new_.Service == nil {
+		switch {
+		case new_.Service == nil:
 			regs = append(regs, "service phase missing from new result")
-		} else {
+		case !specsComparable(old.Service.SpecID, new_.Service.SpecID, new_.Service.Spec):
+			warns = append(warns, fmt.Sprintf(
+				"service sections measured different workload specs (old %s vs new %s); not compared",
+				specLabel(old.Service.Spec, old.Service.SpecID), specLabel(new_.Service.Spec, new_.Service.SpecID)))
+		default:
 			lowerIsWorse("service jobs_per_sec", old.Service.JobsPerSec, new_.Service.JobsPerSec)
 			higherIsWorse("service latency_p99_ms", old.Service.Latency.P99, new_.Service.Latency.P99)
 		}
 	}
-	// The fleet phase is opt-in (-router), so its absence on either side
-	// is not a regression — only compare when both points carry it.
-	if old.Fleet != nil && new_.Fleet != nil {
-		lowerIsWorse("fleet jobs_per_sec", old.Fleet.JobsPerSec, new_.Fleet.JobsPerSec)
-		higherIsWorse("fleet latency_p99_ms", old.Fleet.Latency.P99, new_.Fleet.Latency.P99)
-		lowerIsWorse("fleet memo_hit_rate", old.Fleet.MemoHitRate, new_.Fleet.MemoHitRate)
+
+	switch {
+	case old.Load == nil && new_.Load != nil:
+		warns = append(warns, "old point predates the load section (per-SLO-class metrics); not compared")
+	case old.Load != nil && new_.Load == nil:
+		warns = append(warns, "load section missing from new result; not compared")
+	case old.Load != nil && new_.Load != nil:
+		if !specsComparable(old.Load.SpecID, new_.Load.SpecID, new_.Load.Spec) {
+			warns = append(warns, fmt.Sprintf(
+				"load sections measured different workload specs (old %s vs new %s); not compared",
+				specLabel(old.Load.Spec, old.Load.SpecID), specLabel(new_.Load.Spec, new_.Load.SpecID)))
+			break
+		}
+		lowerIsWorse("load jobs_per_sec", old.Load.JobsPerSec, new_.Load.JobsPerSec)
+		lowerIsWorse("load memo_hit_rate", old.Load.MemoHitRate, new_.Load.MemoHitRate)
+		for class, oc := range old.Load.Classes {
+			nc, ok := new_.Load.Classes[class]
+			if !ok {
+				regs = append(regs, fmt.Sprintf("load slo class %q missing from new result", class))
+				continue
+			}
+			higherIsWorse(fmt.Sprintf("load %s latency_p99_ms", class), oc.Latency.P99, nc.Latency.P99)
+		}
 	}
-	return regs, nil
+
+	// The fleet phase is opt-in (-router), so its absence on either side
+	// is not a regression — only compare when both points carry one that
+	// measured the same spec.
+	if old.Fleet != nil && new_.Fleet != nil {
+		if !specsComparable(old.Fleet.SpecID, new_.Fleet.SpecID, new_.Fleet.Spec) {
+			warns = append(warns, fmt.Sprintf(
+				"fleet sections measured different workload specs (old %s vs new %s); not compared",
+				specLabel(old.Fleet.Spec, old.Fleet.SpecID), specLabel(new_.Fleet.Spec, new_.Fleet.SpecID)))
+		} else {
+			lowerIsWorse("fleet jobs_per_sec", old.Fleet.JobsPerSec, new_.Fleet.JobsPerSec)
+			higherIsWorse("fleet latency_p99_ms", old.Fleet.Latency.P99, new_.Fleet.Latency.P99)
+			lowerIsWorse("fleet memo_hit_rate", old.Fleet.MemoHitRate, new_.Fleet.MemoHitRate)
+		}
+	}
+	return regs, warns, nil
+}
+
+func specLabel(name, id string) string {
+	if name == "" && id == "" {
+		return "pre-spec"
+	}
+	return fmt.Sprintf("%s/%s", name, id)
 }

@@ -22,16 +22,34 @@ func point(cyclesPerSec, jobsPerSec, p99 float64) *Result {
 	}
 }
 
+// specPoint upgrades a legacy point to the spec-pipeline schema: spec
+// identities on the service section plus a load section.
+func specPoint(cyclesPerSec, jobsPerSec, p99 float64, specName, specID string) *Result {
+	r := point(cyclesPerSec, jobsPerSec, p99)
+	r.Service.Spec, r.Service.SpecID = specName, specID
+	r.Load = &LoadPoint{
+		Spec: specName, SpecID: specID, Seed: 1,
+		Jobs: 24, JobsPerSec: jobsPerSec, MemoHitRate: 0.5,
+		Classes: map[string]ClassPoint{
+			"legacy": {Jobs: 24, Coalesced: 12, Latency: Quantiles{Count: 24, P50: p99 / 2, P99: p99, Max: p99 * 1.5}},
+		},
+	}
+	return r
+}
+
 func TestCompareCleanPass(t *testing.T) {
 	old := point(1e6, 10, 50)
 	// Noise well inside the 10% budget, in both directions.
 	cur := point(0.95e6, 10.5, 52)
-	regs, err := Compare(old, cur, 0.10)
+	regs, warns, err := Compare(old, cur, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("unexpected warnings: %v", warns)
 	}
 }
 
@@ -40,7 +58,7 @@ func TestCompareDetectsInjectedRegressions(t *testing.T) {
 
 	// Injected sim throughput collapse: 40% slower.
 	slow := point(0.6e6, 10, 50)
-	regs, err := Compare(old, slow, 0.10)
+	regs, _, err := Compare(old, slow, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +68,7 @@ func TestCompareDetectsInjectedRegressions(t *testing.T) {
 
 	// Injected tail-latency blowup.
 	laggy := point(1e6, 10, 200)
-	regs, err = Compare(old, laggy, 0.10)
+	regs, _, err = Compare(old, laggy, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +84,7 @@ func TestCompareDetectsInjectedRegressions(t *testing.T) {
 
 	// Injected throughput drop on the service side.
 	slowSvc := point(1e6, 5, 50)
-	regs, err = Compare(old, slowSvc, 0.10)
+	regs, _, err = Compare(old, slowSvc, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +95,7 @@ func TestCompareDetectsInjectedRegressions(t *testing.T) {
 	// A benchmark cell silently vanishing is itself a regression.
 	missing := point(1e6, 10, 50)
 	missing.Sim = missing.Sim[:1]
-	regs, err = Compare(old, missing, 0.10)
+	regs, _, err = Compare(old, missing, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,23 +104,110 @@ func TestCompareDetectsInjectedRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareForwardCompatibleSchema: an older trajectory point that
+// predates the load section (and spec identities) must compare cleanly
+// against a new-schema point — a warning, never a regression or an
+// error. This is the additive-schema contract that keeps the committed
+// baseline usable across feature growth.
+func TestCompareForwardCompatibleSchema(t *testing.T) {
+	old := point(1e6, 10, 50) // pre-spec: no Load, no spec identities
+	cur := specPoint(1e6, 10, 50, "legacy-quick", "00000000deadbeef")
+	regs, warns, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatalf("additive schema growth must not make points incomparable: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("additive schema fields misread as regressions: %v", regs)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "predates the load section") {
+		t.Fatalf("missing old-point-predates warning, got: %v", warns)
+	}
+
+	// The legacy-family service section still compares against pre-spec
+	// points (same traffic): a real throughput drop must be caught.
+	slow := specPoint(1e6, 5, 50, "legacy-quick", "00000000deadbeef")
+	regs, _, err = Compare(old, slow, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 || !strings.Contains(regs[0], "service jobs_per_sec") {
+		t.Fatalf("legacy-compatible service comparison lost: %v", regs)
+	}
+}
+
+// TestCompareSpecIdentityGating: load/service sections measured under
+// different workload specs are warned about and skipped, not diffed.
+func TestCompareSpecIdentityGating(t *testing.T) {
+	old := specPoint(1e6, 10, 50, "bursty-mix", "1111111111111111")
+	// Same spec identity: a latency blowup in a class is a regression.
+	laggy := specPoint(1e6, 10, 200, "bursty-mix", "1111111111111111")
+	regs, warns, err := Compare(old, laggy, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("matching identities should not warn: %v", warns)
+	}
+	foundClass := false
+	for _, r := range regs {
+		if strings.Contains(r, "load legacy latency_p99_ms") {
+			foundClass = true
+		}
+	}
+	if !foundClass {
+		t.Fatalf("per-class latency regression not detected: %v", regs)
+	}
+
+	// Different spec: even a huge delta is not comparable — warn + skip.
+	other := specPoint(1e6, 1, 5000, "other-spec", "2222222222222222")
+	regs, warns, err = Compare(old, other, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if strings.Contains(r, "load") || strings.Contains(r, "service") {
+			t.Fatalf("cross-spec sections were diffed: %v", regs)
+		}
+	}
+	if len(warns) < 2 {
+		t.Fatalf("expected service+load identity warnings, got: %v", warns)
+	}
+
+	// A vanished SLO class under the SAME spec is a regression.
+	gone := specPoint(1e6, 10, 50, "bursty-mix", "1111111111111111")
+	gone.Load.Classes = map[string]ClassPoint{}
+	regs, _, err = Compare(old, gone, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, `slo class "legacy" missing`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vanished SLO class not detected: %v", regs)
+	}
+}
+
 func TestCompareRefusesIncomparable(t *testing.T) {
 	old := point(1e6, 10, 50)
 	newer := point(1e6, 10, 50)
 	newer.SchemaVersion = SchemaVersion + 1
-	if _, err := Compare(old, newer, 0.10); err == nil {
+	if _, _, err := Compare(old, newer, 0.10); err == nil {
 		t.Fatal("schema mismatch accepted")
 	}
 	full := point(1e6, 10, 50)
 	full.Quick = false
-	if _, err := Compare(old, full, 0.10); err == nil {
+	if _, _, err := Compare(old, full, 0.10); err == nil {
 		t.Fatal("quick-vs-full comparison accepted")
 	}
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	old := point(1e6, 10, 50)
+	old := specPoint(1e6, 10, 50, "legacy-quick", "00000000deadbeef")
 	if err := old.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
@@ -115,6 +220,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if got.Sim[0].CyclesPerSec != 1e6 || got.Service.Latency.P99 != 50 {
 		t.Fatalf("values changed in round trip: %+v", got)
+	}
+	if got.Load == nil || got.Load.SpecID != "00000000deadbeef" || got.Load.Classes["legacy"].Jobs != 24 {
+		t.Fatalf("load section mangled in round trip: %+v", got.Load)
 	}
 	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Fatal("missing file read succeeded")
@@ -129,8 +237,9 @@ func TestDefaultFilename(t *testing.T) {
 }
 
 // TestRunQuickEndToEnd runs the real harness in its smallest shape —
-// one cell, a few loopback jobs — and checks the trajectory point is
-// coherent. This is the `benchreg -quick` path CI exercises.
+// one cell, a few loopback jobs through the legacy spec shim — and
+// checks the trajectory point is coherent. This is the
+// `benchreg -quick` path CI exercises.
 func TestRunQuickEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full harness run")
@@ -158,12 +267,23 @@ func TestRunQuickEndToEnd(t *testing.T) {
 	if svc == nil || svc.Jobs != 8 || svc.JobsPerSec <= 0 {
 		t.Fatalf("degenerate service phase: %+v", svc)
 	}
+	if svc.Spec != "legacy-quick" || svc.SpecID == "" {
+		t.Fatalf("service point not stamped with the legacy spec identity: %+v", svc)
+	}
 	if svc.Latency.Count != 8 || svc.Latency.P99 <= 0 || svc.Latency.P50 > svc.Latency.Max {
 		t.Fatalf("incoherent latency summary: %+v", svc.Latency)
 	}
-	// 8 jobs over 4 distinct shapes: at least half must have coalesced.
+	// 8 jobs over a 4-seed pool: duplicates must have coalesced.
 	if svc.MemoHitRate < 0.25 {
 		t.Fatalf("memo hit rate %.2f implausibly low for duplicated load", svc.MemoHitRate)
+	}
+	load := res.Load
+	if load == nil || load.Spec != "legacy-quick" || load.SpecID != svc.SpecID {
+		t.Fatalf("load section missing or misstamped: %+v", load)
+	}
+	lc, ok := load.Classes["legacy"]
+	if !ok || lc.Jobs != 8 || lc.Latency.Count != 8 || lc.Latency.Max <= 0 {
+		t.Fatalf("legacy SLO class missing or empty: %+v", load.Classes)
 	}
 	// Round-trip through disk and self-compare: no regression vs self.
 	path := filepath.Join(t.TempDir(), "BENCH_now.json")
@@ -174,11 +294,11 @@ func TestRunQuickEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	regs, err := Compare(res, again, 0.10)
+	regs, warns, err := Compare(res, again, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(regs) != 0 {
-		t.Fatalf("self-comparison regressed: %v", regs)
+	if len(regs) != 0 || len(warns) != 0 {
+		t.Fatalf("self-comparison regressed: %v / %v", regs, warns)
 	}
 }

@@ -1,27 +1,26 @@
 package benchreg
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"regmutex/internal/cluster"
-	"regmutex/internal/obs"
 	"regmutex/internal/service"
+	"regmutex/internal/workspec"
 )
 
-// FleetPoint summarizes the router load phase: the same loopback job
-// storm as the service phase, but through a gpusimrouter fronting three
-// instances — with one instance killed mid-load. The latency quantiles
+// FleetPoint summarizes the router load phase: the same workload-spec
+// schedule as the load phase, but through a gpusimrouter fronting three
+// instances — with one instance killed mid-storm. The latency quantiles
 // therefore price in real failovers, and the hit rate measures how well
 // fingerprint affinity keeps duplicate work landing on warm memo caches
 // while the fleet is degraded.
 type FleetPoint struct {
+	Spec        string  `json:"spec,omitempty"`
+	SpecID      string  `json:"spec_id,omitempty"`
 	Instances   int     `json:"instances"`
 	Jobs        int     `json:"jobs"`
 	WallSeconds float64 `json:"wall_seconds"`
@@ -33,13 +32,16 @@ type FleetPoint struct {
 	Failovers   int64     `json:"failovers"`
 	Retries     int64     `json:"retries"`
 	Latency     Quantiles `json:"latency_ms"`
+	// Classes is the per-SLO-class breakdown under fleet degradation.
+	Classes map[string]ClassPoint `json:"slo_classes,omitempty"`
 }
 
 // runFleetPhase boots three gpusimd instances and a router over
-// loopback, fires the job storm through the router, and hard-kills one
+// loopback, drives the schedule through the router, and hard-kills one
 // instance after a third of the submissions are in flight.
-func runFleetPhase(jobs int, quick bool) (*FleetPoint, error) {
+func runFleetPhase(sched *workspec.Schedule, o Options) (*FleetPoint, error) {
 	const nInstances = 3
+	jobs := len(sched.Items)
 	type inst struct {
 		svc    *service.Service
 		server *http.Server
@@ -48,7 +50,7 @@ func runFleetPhase(jobs int, quick bool) (*FleetPoint, error) {
 	var fleet []*inst
 	var urls []string
 	for i := 0; i < nInstances; i++ {
-		svc, err := service.New(service.Config{Workers: 2, QueueDepth: jobs + 8})
+		svc, err := service.New(service.Config{Workers: 2, QueueDepth: jobs + 8, Par: o.Par})
 		if err != nil {
 			return nil, err
 		}
@@ -86,84 +88,46 @@ func runFleetPhase(jobs int, quick bool) (*FleetPoint, error) {
 	rserver := &http.Server{Handler: cluster.Handler(r)}
 	go rserver.Serve(rln)
 	defer rserver.Close()
-	base := "http://" + rln.Addr().String()
 
-	scale, sms := 4, 4
-	if quick {
-		scale, sms = 8, 2
-	}
-	bodies := make([]string, 4)
-	for i := range bodies {
-		bodies[i] = fmt.Sprintf(
-			`{"workload":"bfs","policy":"static","scale":%d,"sms":%d,"seed":%d,"client":"benchreg-fleet"}`,
-			scale, sms, i)
-	}
-
-	var lat obs.Histogram
-	var mu sync.Mutex
-	var firstErr error
-	var coalesced atomic.Int64
-	var wg sync.WaitGroup
 	killAt := jobs / 3
-	start := time.Now()
-	sem := make(chan struct{}, 8)
-	for i := 0; i < jobs; i++ {
-		if i == killAt {
-			// One instance dies under load: its in-flight jobs must fail
-			// over and the rest of the storm route around it.
-			fleet[0].server.Close()
-			fleet[0].svc.Close()
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			t0 := time.Now()
-			resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json",
-				strings.NewReader(bodies[i%len(bodies)]))
-			if err == nil {
-				var view cluster.JobView
-				json.NewDecoder(resp.Body).Decode(&view)
-				resp.Body.Close()
-				if view.State != service.StateDone {
-					err = fmt.Errorf("fleet job %s ended %q (%+v)", view.ID, view.State, view.Error)
-				} else if view.Coalesced {
-					coalesced.Add(1)
-				}
+	rr, err := workspec.Run(context.Background(), sched, workspec.RunnerOptions{
+		BaseURL:  "http://" + rln.Addr().String(),
+		Compress: o.Compress,
+		Logger:   o.Logger,
+		OnSubmit: func(i int) {
+			if i == killAt {
+				// One instance dies under load: its in-flight jobs must fail
+				// over and the rest of the storm route around it.
+				fleet[0].server.Close()
+				fleet[0].svc.Close()
 			}
-			lat.Observe(time.Since(t0).Seconds())
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(i)
-	}
-	wg.Wait()
-	wall := time.Since(start).Seconds()
-	if firstErr != nil {
-		return nil, fmt.Errorf("benchreg fleet phase: %w", firstErr)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchreg fleet phase: %w", err)
 	}
 
 	m := r.Metrics()
-	s := lat.Snapshot()
-	return &FleetPoint{
+	fp := &FleetPoint{
+		Spec:        sched.SpecName,
+		SpecID:      sched.SpecID,
 		Instances:   nInstances,
-		Jobs:        jobs,
-		WallSeconds: wall,
-		JobsPerSec:  float64(jobs) / wall,
-		MemoHitRate: float64(coalesced.Load()) / float64(jobs),
+		Jobs:        rr.Jobs,
+		WallSeconds: rr.WallSeconds,
+		JobsPerSec:  rr.JobsPerSec,
+		MemoHitRate: rr.MemoHitRate,
 		Failovers:   m.Counter("cluster.failovers").Value(),
 		Retries:     m.Counter("cluster.retries").Value(),
-		Latency: Quantiles{
-			Count: s.Count,
-			P50:   s.Quantile(0.50) * 1000,
-			P90:   s.Quantile(0.90) * 1000,
-			P99:   s.Quantile(0.99) * 1000,
-			Max:   s.Max * 1000,
-		},
-	}, nil
+		Latency:     quantilesOf(mergedLatency(rr)),
+		Classes:     map[string]ClassPoint{},
+	}
+	for class, cs := range rr.Classes {
+		fp.Classes[class] = ClassPoint{
+			Jobs:      cs.Jobs,
+			Failed:    cs.Failed,
+			Coalesced: cs.Coalesced,
+			Latency:   quantilesOf(cs.Latency),
+		}
+	}
+	return fp, nil
 }

@@ -63,6 +63,13 @@ type SubmitRequest struct {
 	// layer fills it from the X-Client header or the remote address.
 	Priority int    `json:"priority,omitempty"`
 	Client   string `json:"client,omitempty"`
+
+	// SLOClass buckets the request for per-class latency accounting in
+	// the workspec load pipeline ("critical", "batch", ...). Pure
+	// attribution: like Client and Priority it never changes the
+	// simulation result, is excluded from Fingerprint, and round-trips
+	// through journals and recorded traces so replays keep their class.
+	SLOClass string `json:"slo_class,omitempty"`
 }
 
 // ResolvedKind reports the request's effective kind with the inference

@@ -56,6 +56,13 @@ type Config struct {
 	// Logger receives structured job-lifecycle logs (accept, finish,
 	// drain) with job IDs for correlation. Nil discards them.
 	Logger *slog.Logger
+	// OnAccept observes every freshly accepted submission (after
+	// admission control, before execution) — the trace-record hook:
+	// gpusimd -record wires a workspec.TraceWriter here so production
+	// traffic can be captured and replayed. Journal-replayed jobs are
+	// not re-observed (they were recorded when first accepted). Must be
+	// fast and must not block; nil disables it.
+	OnAccept func(req SubmitRequest)
 }
 
 func (c Config) withDefaults() Config {
@@ -230,6 +237,9 @@ func (s *Service) Submit(req SubmitRequest) (*Job, *ErrorBody) {
 	}
 	s.metrics.Counter("service.jobs_accepted").Inc()
 	s.metrics.Gauge("service.queue_depth").Set(float64(s.queue.len()))
+	if s.cfg.OnAccept != nil {
+		s.cfg.OnAccept(req)
+	}
 	return j, nil
 }
 

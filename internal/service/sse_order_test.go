@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSSEOrderingUnderLoad streams a multi-policy job with an
+// aggressive keepalive while sibling jobs keep the workers busy, then
+// checks the raw wire bytes frame by frame: cycle-sample and state
+// frames arrive whole (never torn by a ": ping" comment), ids are
+// strictly increasing with no gaps, each payload's seq matches its
+// frame id, and the terminal state is the last frame on the wire.
+func TestSSEOrderingUnderLoad(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, PoolWorkers: 4})
+	s.Start()
+	ts := httptest.NewServer(Handler(s, WithSSEKeepalive(time.Millisecond)))
+	defer ts.Close()
+
+	// Load: competing jobs with distinct seeds so nothing coalesces.
+	for i := 0; i < 3; i++ {
+		postJob(t, ts, fmt.Sprintf(`{"workload":"bfs","policy":"static","scale":8,"sms":2,"seed":%d}`, 100+i), "")
+	}
+	// The watched job runs every policy — a long stream of cycle samples.
+	_, view := postJob(t, ts, `{"workload":"bfs","policy":"all","scale":4,"sms":2}`, "")
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body) // the stream closes itself at the terminal state
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		lastID  = -1
+		pings   = 0
+		samples = 0
+		final   Event
+	)
+	blocks := strings.Split(string(raw), "\n\n")
+	if last := blocks[len(blocks)-1]; last != "" {
+		t.Fatalf("stream did not end on a frame boundary: %q", last)
+	}
+	for _, block := range blocks[:len(blocks)-1] {
+		if block == ": ping" {
+			pings++
+			continue
+		}
+		lines := strings.Split(block, "\n")
+		if len(lines) != 3 || !strings.HasPrefix(lines[0], "id: ") ||
+			!strings.HasPrefix(lines[1], "event: ") || !strings.HasPrefix(lines[2], "data: ") {
+			t.Fatalf("torn or malformed frame on the wire: %q", block)
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(lines[0], "id: "))
+		if err != nil {
+			t.Fatalf("bad frame id in %q: %v", block, err)
+		}
+		if id != lastID+1 {
+			t.Fatalf("frame ids out of order: %d after %d", id, lastID)
+		}
+		lastID = id
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(lines[2], "data: ")), &ev); err != nil {
+			t.Fatalf("frame %d payload is not one JSON event: %v", id, err)
+		}
+		if ev.Seq != id {
+			t.Fatalf("frame id %d carries seq %d", id, ev.Seq)
+		}
+		if want := strings.TrimPrefix(lines[1], "event: "); ev.Type != want {
+			t.Fatalf("frame %d event type %q but payload type %q", id, want, ev.Type)
+		}
+		if ev.Type == "sample" {
+			samples++
+			if ev.Cycle < 0 || ev.Policy == "" {
+				t.Fatalf("degenerate cycle sample: %+v", ev)
+			}
+		}
+		final = ev
+	}
+	if final.Type != "state" || final.State != StateDone {
+		t.Fatalf("stream did not end on the terminal state: %+v", final)
+	}
+	if samples == 0 {
+		t.Fatal("no cycle samples streamed — the ordering assertion never engaged")
+	}
+	if pings == 0 {
+		t.Fatal("no keepalive frames interleaved — the ordering assertion never engaged")
+	}
+	if got := waitDone(t, s, view.ID, time.Minute); got.State != StateDone {
+		t.Fatalf("job ended %q", got.State)
+	}
+}
