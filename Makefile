@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke chaos-smoke fleet-smoke load-smoke
+.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke chaos-smoke fleet-smoke load-smoke hypo-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,8 @@ test:
 # SIGTERM), the fleet gates: the seeded chaos matrix under -race
 # and the gpusimrouter three-instance selftest with a mid-run kill,
 # and the workload-spec load smoke (per-SLO-class histograms present
-# and nonzero).
+# and nonzero), and the hypothesis smoke (pinned verdicts, byte-equal
+# reports across -j, the Refuted gate biting).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -27,6 +28,7 @@ verify:
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) load-smoke
+	$(MAKE) hypo-smoke
 
 # The benchmark-trajectory harness: run the fixed workload×policy
 # simulator matrix plus the gpusimd loopback load phase and write a
@@ -80,6 +82,23 @@ chaos-smoke:
 load-smoke:
 	$(GO) run ./cmd/benchreg -quick -load-only -spec examples/workloads/load-smoke.yaml -out /tmp/benchreg-load-smoke.json
 	rm -f /tmp/benchreg-load-smoke.json
+
+# Run every shipped hypothesis spec twice — serial and parallel — into
+# two report trees and require byte-identical FINDINGS/JSON (the
+# determinism contract), assert each spec's pinned verdict, and check
+# that -gate turns the designed-Refuted negative control (h4) into a
+# failing exit.
+hypo-smoke:
+	rm -rf /tmp/hypo-smoke-j1 /tmp/hypo-smoke-jN
+	$(GO) run ./cmd/hypo -j 1 -par 1 -out /tmp/hypo-smoke-j1 examples/hypotheses
+	$(GO) run ./cmd/hypo -j 8 -par 4 -out /tmp/hypo-smoke-jN examples/hypotheses
+	diff -r /tmp/hypo-smoke-j1 /tmp/hypo-smoke-jN
+	grep -q '^\*\*Status:\*\* Confirmed$$' /tmp/hypo-smoke-j1/h1-regmutex-pareto/FINDINGS.md
+	grep -q '^\*\*Status:\*\* Confirmed$$' /tmp/hypo-smoke-j1/h2-occupancy-cliff/FINDINGS.md
+	grep -q '^\*\*Status:\*\* Confirmed$$' /tmp/hypo-smoke-j1/h3-policy-equivalence/FINDINGS.md
+	grep -q '^\*\*Status:\*\* Refuted$$' /tmp/hypo-smoke-j1/h4-static-matches-regmutex/FINDINGS.md
+	! $(GO) run ./cmd/hypo -gate -out /tmp/hypo-smoke-jN examples/hypotheses
+	rm -rf /tmp/hypo-smoke-j1 /tmp/hypo-smoke-jN
 
 # Boot a three-instance gpusimd fleet behind a gpusimrouter on loopback
 # ports, submit through the router, kill the instance that served the

@@ -62,7 +62,7 @@ func main() {
 	case *workload != "":
 		w, err := workloads.ByName(*workload)
 		if err != nil {
-			fatal(err)
+			fatal(&harness.NotFoundError{Kind: "workload", Name: *workload, Valid: workloads.Names()})
 		}
 		k = w.Build(*scale)
 		input = w.Input(k, *seed)

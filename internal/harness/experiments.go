@@ -269,7 +269,8 @@ type CmpResult struct {
 	TechErr map[string]error
 }
 
-func (r *CmpResult) setTechErr(col string, err error) {
+// SetTechErr records one technique column's failure on the row.
+func (r *CmpResult) SetTechErr(col string, err error) {
 	if r.TechErr == nil {
 		r.TechErr = map[string]error{}
 	}
@@ -330,23 +331,23 @@ func compareTechniques(o Options, refCfg, runCfg occupancy.Config, set []*worklo
 		r.Baseline = ref.Cycles
 		if p.hasNoTech {
 			if noSt, err := p.noTech.Wait(); err != nil {
-				r.setTechErr("none", err)
+				r.SetTechErr("none", err)
 			} else {
 				r.NoTech = noSt.Cycles
 			}
 		}
 		if rmSt, _, err := p.rm.Wait(); err != nil {
-			r.setTechErr("regmutex", err)
+			r.SetTechErr("regmutex", err)
 		} else {
 			r.RegMutex = rmSt.Cycles
 		}
 		if owfSt, err := p.owf.Wait(); err != nil {
-			r.setTechErr("owf", err)
+			r.SetTechErr("owf", err)
 		} else {
 			r.OWF = owfSt.Cycles
 		}
 		if rfvSt, err := p.rfv.Wait(); err != nil {
-			r.setTechErr("rfv", err)
+			r.SetTechErr("rfv", err)
 		} else {
 			r.RFV = rfvSt.Cycles
 		}

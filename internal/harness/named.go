@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"regmutex/internal/isa"
+	"regmutex/internal/occupancy"
+	"regmutex/internal/sim"
+	"regmutex/internal/workloads"
+)
+
+// StatsFuture is a pending simulation scheduled through SubmitNamed:
+// Wait blocks until the pool finishes (or a memo hit resolves it) and
+// returns the run's Stats.
+type StatsFuture interface {
+	Wait() (sim.Stats, error)
+}
+
+// rmStatsFuture adapts the RegMutex future (which also carries the
+// transform result) down to the plain Stats surface.
+type rmStatsFuture struct{ f rmFuture }
+
+func (r rmStatsFuture) Wait() (sim.Stats, error) {
+	st, _, err := r.f.Wait()
+	return st, err
+}
+
+// SubmitNamed schedules one simulation of workload w's kernel k under
+// the named policy on machine cfg through o's pool, memoized under the
+// exact keys the figure sweeps use — a hypothesis cell and a paperbench
+// row that describe the same run share one simulation. The compilation
+// step per policy matches PreparePolicy (static/owf/rfv run the
+// prepared kernel, regmutex/paired the transformed one; owf derives its
+// |Bs| from the transform), so every entry point agrees on what "run
+// policy X" means. Unknown names return a *NotFoundError listing
+// PolicyNames. Callers fanning out many cells should pass a shared
+// o.Pool; o is normalized here, so a nil pool gets a private one.
+func SubmitNamed(o Options, cfg occupancy.Config, w *workloads.Workload, k *isa.Kernel, policy string) (StatsFuture, error) {
+	o = o.normalize()
+	switch policy {
+	case "static":
+		return submitBaseline(o, cfg, w, k), nil
+	case "owf":
+		return submitOWF(o, cfg, w, k), nil
+	case "rfv":
+		return submitRFV(o, cfg, w, k), nil
+	case "paired":
+		return submitPaired(o, cfg, w, k), nil
+	case "regmutex":
+		return rmStatsFuture{submitRegMutex(o, cfg, w, k, 0)}, nil
+	default:
+		return nil, &NotFoundError{Kind: "policy", Name: policy, Valid: PolicyNames}
+	}
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"regmutex/internal/occupancy"
+	"regmutex/internal/workloads"
+)
+
+// TestRunExperimentNotFound pins the typed rejection: an unknown
+// experiment name returns *NotFoundError carrying the full valid set,
+// so every front end (-exp usage, the service's 400 body) can list what
+// would have worked.
+func TestRunExperimentNotFound(t *testing.T) {
+	_, err := RunExperiment("fig99", Options{}, io.Discard)
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %T %v, want *NotFoundError", err, err)
+	}
+	if nf.Kind != "experiment" || nf.Name != "fig99" {
+		t.Fatalf("NotFoundError = %+v", nf)
+	}
+	if len(nf.Valid) != len(ExperimentNames()) {
+		t.Fatalf("Valid lists %d names, want %d", len(nf.Valid), len(ExperimentNames()))
+	}
+	msg := nf.Error()
+	for _, name := range []string{"fig7", "fig9a", "table1"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("message %q does not list %q", msg, name)
+		}
+	}
+}
+
+// TestPreparePolicyNotFound pins the same contract for policy lookup.
+func TestPreparePolicyNotFound(t *testing.T) {
+	w, err := workloads.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = PreparePolicy(occupancy.GTX480(), w.Build(16), "banana")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %T %v, want *NotFoundError", err, err)
+	}
+	if nf.Kind != "policy" {
+		t.Fatalf("Kind = %q, want policy", nf.Kind)
+	}
+	if strings.Join(nf.Valid, " ") != strings.Join(PolicyNames, " ") {
+		t.Fatalf("Valid = %v, want PolicyNames %v", nf.Valid, PolicyNames)
+	}
+}

@@ -1,9 +1,6 @@
 package harness
 
 import (
-	"fmt"
-	"strings"
-
 	"regmutex/internal/core"
 	"regmutex/internal/isa"
 	"regmutex/internal/occupancy"
@@ -53,6 +50,6 @@ func PreparePolicy(machine occupancy.Config, k *isa.Kernel, name string) (*isa.K
 		}
 		return res.Kernel, sim.NewRegMutexPolicy(machine), nil
 	default:
-		return nil, nil, fmt.Errorf("unknown policy %q (want %s)", name, strings.Join(PolicyNames, " | "))
+		return nil, nil, &NotFoundError{Kind: "policy", Name: name, Valid: PolicyNames}
 	}
 }

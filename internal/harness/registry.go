@@ -78,7 +78,7 @@ var experimentOrder = []experiment{
 			return 0, err
 		}
 		PrintFig9(w, rows, false)
-		return countCmpErrs(rows), nil
+		return CountCmpErrs(rows), nil
 	}},
 	{"fig9b", func(o Options, w io.Writer) (int, error) {
 		rows, err := Fig9b(o)
@@ -86,7 +86,7 @@ var experimentOrder = []experiment{
 			return 0, err
 		}
 		PrintFig9(w, rows, true)
-		return countCmpErrs(rows), nil
+		return CountCmpErrs(rows), nil
 	}},
 	{"fig10", func(o Options, w io.Writer) (int, error) {
 		rows, err := EsSweep(o)
@@ -164,7 +164,9 @@ func countAppErrs(rows []AppResult) int {
 	return n
 }
 
-func countCmpErrs(rows []CmpResult) int {
+// CountCmpErrs counts the ERR cells in a comparison sweep: whole-row
+// failures plus per-technique column failures.
+func CountCmpErrs(rows []CmpResult) int {
 	n := 0
 	for _, r := range rows {
 		if r.Err != nil {
@@ -201,16 +203,30 @@ func IsExperiment(name string) bool {
 	return false
 }
 
+// NotFoundError is the typed "no such name" rejection for every
+// registry lookup the tools expose (-exp, -policy, -w): it carries the
+// rejected name and the full valid set, so usage output can always list
+// what would have worked instead of leaving the user to guess.
+type NotFoundError struct {
+	Kind  string // "experiment" | "policy" | "workload"
+	Name  string
+	Valid []string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("unknown %s %q (want %s)", e.Kind, e.Name, strings.Join(e.Valid, " | "))
+}
+
 // RunExperiment regenerates one named experiment, printing its tables to
 // w. The int return counts ERR(<kind>) rows the sweep survived (callers
 // turn a non-zero count into a failing exit); the error return is a hard
-// failure that prevented the experiment from running.
+// failure that prevented the experiment from running — a *NotFoundError
+// listing ExperimentNames when the name is unknown.
 func RunExperiment(name string, o Options, w io.Writer) (int, error) {
 	for _, e := range experimentOrder {
 		if e.name == name {
 			return e.run(o, w)
 		}
 	}
-	return 0, fmt.Errorf("unknown experiment %q (want %s)",
-		name, strings.Join(ExperimentNames(), " | "))
+	return 0, &NotFoundError{Kind: "experiment", Name: name, Valid: ExperimentNames()}
 }

@@ -1,0 +1,69 @@
+package hypo
+
+import (
+	"sort"
+
+	"regmutex/internal/sim"
+)
+
+// Metric accessors: every measurable name maps a finished run's
+// sim.Stats to one float64. Derived metrics (ipc, user_instructions,
+// stall_frac.*) are computed here so specs never need arithmetic.
+var metricFuncs = map[string]func(sim.Stats) float64{
+	"cycles":               func(st sim.Stats) float64 { return float64(st.Cycles) },
+	"instructions":         func(st sim.Stats) float64 { return float64(st.Instructions) },
+	"user_instructions":    func(st sim.Stats) float64 { return float64(st.Instructions - st.AcqRelInstructions) },
+	"ctas":                 func(st sim.Stats) float64 { return float64(st.CTAs) },
+	"avg_occupancy_warps":  func(st sim.Stats) float64 { return st.AvgOccupancyWarps },
+	"acquire_attempts":     func(st sim.Stats) float64 { return float64(st.AcquireAttempts) },
+	"acquire_successes":    func(st sim.Stats) float64 { return float64(st.AcquireSuccesses) },
+	"acquire_success_rate": func(st sim.Stats) float64 { return st.AcquireSuccessRate() },
+	"releases":             func(st sim.Stats) float64 { return float64(st.Releases) },
+	"rf_reads":             func(st sim.Stats) float64 { return float64(st.RFReads) },
+	"rf_writes":            func(st sim.Stats) float64 { return float64(st.RFWrites) },
+	"sched_slots":          func(st sim.Stats) float64 { return float64(st.SchedSlots) },
+	"oob_accesses":         func(st sim.Stats) float64 { return float64(st.OOBAccesses) },
+	"ipc": func(st sim.Stats) float64 {
+		if st.Cycles == 0 {
+			return 0
+		}
+		return float64(st.Instructions) / float64(st.Cycles)
+	},
+}
+
+func init() {
+	// stall.<cause> (slot-cycles) and stall_frac.<cause> (fraction of
+	// scheduler slots) for every attribution cause, "issued" included.
+	for _, c := range sim.StallCauses() {
+		c := c
+		metricFuncs["stall."+c.String()] = func(st sim.Stats) float64 { return float64(st.Stall[c]) }
+		metricFuncs["stall_frac."+c.String()] = func(st sim.Stats) float64 {
+			if st.SchedSlots == 0 {
+				return 0
+			}
+			return float64(st.Stall[c]) / float64(st.SchedSlots)
+		}
+	}
+}
+
+// KnownMetric reports whether name is a measurable metric.
+func KnownMetric(name string) bool {
+	_, ok := metricFuncs[name]
+	return ok
+}
+
+// MetricNames lists every measurable metric, sorted.
+func MetricNames() []string {
+	out := make([]string, 0, len(metricFuncs))
+	for name := range metricFuncs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// metricValue evaluates one metric on a run's Stats. The name must be
+// known (spec validation guarantees it on every engine path).
+func metricValue(st sim.Stats, name string) float64 {
+	return metricFuncs[name](st)
+}

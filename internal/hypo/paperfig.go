@@ -1,0 +1,144 @@
+package hypo
+
+import (
+	"fmt"
+
+	"regmutex/internal/harness"
+	"regmutex/internal/workloads"
+)
+
+// Fig9Rows regenerates the Figure 9 technique comparison through the
+// hypothesis engine instead of the hand-rolled sweep in
+// harness.Fig9a/Fig9b: the sweep is expressed as a generated matrix
+// spec (policy × workload, plus the full-vs-half machine split for 9b),
+// run through hypo.Run, and the cells are folded back into the
+// harness.CmpResult rows PrintFig9 renders. Because cells submit under
+// the figure sweeps' own memo keys, a -hypo run and a legacy run of the
+// same figure share every simulation — matching numbers by
+// construction, which the paperfig tests pin.
+func Fig9Rows(o harness.Options, half bool) ([]harness.CmpResult, error) {
+	seed := o.Seed
+	if seed == 0 && !o.SeedSet {
+		seed = 42
+	}
+	scale := o.Scale
+	if scale < 1 {
+		scale = 1
+	}
+
+	set := workloads.Fig7Set()
+	figure := "fig9a"
+	if half {
+		set = workloads.Fig8Set()
+		figure = "fig9b"
+	}
+	names := make([]string, len(set))
+	for i, w := range set {
+		names[i] = w.Name
+	}
+
+	spec := &Spec{
+		Version:    SpecVersion,
+		Name:       figure,
+		Title:      "Figure 9 technique comparison via the hypothesis engine",
+		Hypothesis: "every technique cell completes and reports a cycle count",
+		Matrix: Matrix{
+			Policies:  []string{"static", "owf", "rfv", "regmutex"},
+			Workloads: names,
+			Machines:  []string{MachineGTX480},
+			SMs:       []int{o.NumSMs},
+			Scales:    []int{scale},
+		},
+		Seeds:   []uint64{seed},
+		Metrics: []string{"cycles"},
+		// The embedded claim is the sweep's sanity condition: every run
+		// finishes with a positive cycle count. The CmpResult mapping
+		// below is what paperbench prints; the verdict just travels along.
+		Compare: Compare{Type: CompareThreshold, Metric: "cycles", Op: ">=", Value: 1},
+	}
+	if half {
+		// 9b runs every technique (and the no-technique baseline) on the
+		// half-RF machine, compared against the full-RF static baseline —
+		// so the full machine carries only the static cells.
+		spec.Matrix.Machines = []string{MachineGTX480, MachineGTX480Half}
+		for _, p := range []string{"owf", "rfv", "regmutex"} {
+			spec.Matrix.Exclude = append(spec.Matrix.Exclude,
+				fmt.Sprintf("machine=%s,policy=%s", MachineGTX480, p))
+		}
+	}
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	res, err := Run(spec, RunOptions{Pool: o.Pool, Jobs: o.Jobs, Par: o.Par, Audit: o.Audit, AuditSet: o.AuditSet})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold cells back into one CmpResult row per workload. Expansion is
+	// workload-major, so cells arrive grouped; index on (policy, machine)
+	// within the group anyway to stay order-agnostic.
+	type key struct{ policy, machine string }
+	byWorkload := map[string]map[key]*CellResult{}
+	for i := range res.Cells {
+		cr := &res.Cells[i]
+		m := byWorkload[cr.Cell.Workload]
+		if m == nil {
+			m = map[key]*CellResult{}
+			byWorkload[cr.Cell.Workload] = m
+		}
+		m[key{cr.Cell.Policy, cr.Cell.Machine}] = cr
+	}
+	refMachine := MachineGTX480
+	runMachine := MachineGTX480
+	if half {
+		runMachine = MachineGTX480Half
+	}
+	cycles := func(cr *CellResult) (int64, error) {
+		if cr == nil {
+			return 0, fmt.Errorf("cell missing from matrix")
+		}
+		sr := cr.Seeds[0]
+		if sr.err != nil {
+			return 0, sr.err
+		}
+		return int64(sr.Values["cycles"]), nil
+	}
+	var out []harness.CmpResult
+	for _, name := range names {
+		m := byWorkload[name]
+		r := harness.CmpResult{Name: name}
+		ref, err := cycles(m[key{"static", refMachine}])
+		if err != nil {
+			r.Err = err
+			out = append(out, r)
+			continue
+		}
+		r.Baseline = ref
+		if half {
+			if v, err := cycles(m[key{"static", runMachine}]); err != nil {
+				r.SetTechErr("none", err)
+			} else {
+				r.NoTech = v
+			}
+		}
+		if v, err := cycles(m[key{"owf", runMachine}]); err != nil {
+			r.SetTechErr("owf", err)
+		} else {
+			r.OWF = v
+		}
+		if v, err := cycles(m[key{"rfv", runMachine}]); err != nil {
+			r.SetTechErr("rfv", err)
+		} else {
+			r.RFV = v
+		}
+		if v, err := cycles(m[key{"regmutex", runMachine}]); err != nil {
+			r.SetTechErr("regmutex", err)
+		} else {
+			r.RegMutex = v
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

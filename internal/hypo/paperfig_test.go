@@ -1,0 +1,103 @@
+package hypo
+
+import (
+	"errors"
+	"testing"
+
+	"regmutex/internal/harness"
+	"regmutex/internal/runpool"
+)
+
+// TestFig9RowsMatchLegacy runs both Figure 9 sweeps through the
+// hypothesis engine and through the legacy harness path on one shared
+// pool and requires identical rows — the acceptance bar for the -hypo
+// paperbench mode. Sharing the pool also proves the engine submits
+// under the same memo keys: the second pass must be all cache hits.
+func TestFig9RowsMatchLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates both fig9 sweeps")
+	}
+	pool := runpool.New(0)
+	o := harness.Options{Scale: 8, NumSMs: 2, Pool: pool}
+
+	for _, half := range []bool{false, true} {
+		legacy, err := legacyFig9(o, half)
+		if err != nil {
+			t.Fatalf("legacy half=%v: %v", half, err)
+		}
+		_, missesBefore := pool.CacheStats()
+		got, err := Fig9Rows(o, half)
+		if err != nil {
+			t.Fatalf("Fig9Rows half=%v: %v", half, err)
+		}
+		_, missesAfter := pool.CacheStats()
+		if missesAfter != missesBefore {
+			t.Errorf("half=%v: hypo route simulated %d new runs, want 0 (memo keys must match the legacy sweep)",
+				half, missesAfter-missesBefore)
+		}
+		if len(got) != len(legacy) {
+			t.Fatalf("half=%v: %d rows, want %d", half, len(got), len(legacy))
+		}
+		for i := range legacy {
+			l, g := legacy[i], got[i]
+			if l.Name != g.Name || l.Baseline != g.Baseline || l.NoTech != g.NoTech ||
+				l.OWF != g.OWF || l.RFV != g.RFV || l.RegMutex != g.RegMutex {
+				t.Errorf("half=%v row %s: hypo %+v != legacy %+v", half, l.Name, g, l)
+			}
+			if (l.Err == nil) != (g.Err == nil) {
+				t.Errorf("half=%v row %s: Err mismatch: %v vs %v", half, l.Name, g.Err, l.Err)
+			}
+		}
+	}
+}
+
+func legacyFig9(o harness.Options, half bool) ([]harness.CmpResult, error) {
+	if half {
+		return harness.Fig9b(o)
+	}
+	return harness.Fig9a(o)
+}
+
+// TestFig9RowsSeedDefault pins the seed-defaulting contract: an unset
+// seed means 42, exactly like harness.Options.normalize.
+func TestFig9RowsSeedDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a fig9 sweep twice")
+	}
+	pool := runpool.New(0)
+	a, err := Fig9Rows(harness.Options{Scale: 16, NumSMs: 2, Pool: pool}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig9Rows(harness.Options{Scale: 16, NumSMs: 2, Seed: 42, SeedSet: true, Pool: pool}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Baseline != b[i].Baseline || a[i].RegMutex != b[i].RegMutex {
+			t.Fatalf("row %s: default seed differs from explicit 42", a[i].Name)
+		}
+	}
+}
+
+// TestRunUnknownWorkloadSurfacesError covers the engine's spec-level
+// error path (a workload validation would normally catch; expand-time
+// lookup still fails typed).
+func TestRunUnknownWorkloadSurfacesError(t *testing.T) {
+	s, err := Parse([]byte(validPareto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Matrix.Workloads = []string{"not-a-workload"} // bypasses Validate on purpose
+	if _, err := Run(s, RunOptions{Jobs: 1}); err == nil {
+		t.Fatal("Run accepted an unknown workload")
+	}
+	// And SubmitNamed rejects unknown policies with the typed error.
+	s.Matrix.Workloads = []string{"bfs"}
+	s.Matrix.Policies = []string{"banana"}
+	_, err = Run(s, RunOptions{Jobs: 1})
+	var nf *harness.NotFoundError
+	if !errors.As(err, &nf) || nf.Kind != "policy" {
+		t.Fatalf("err = %v, want *harness.NotFoundError{Kind: policy}", err)
+	}
+}

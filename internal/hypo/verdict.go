@@ -1,0 +1,447 @@
+package hypo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unit is one decisive observation of the comparison: a paired seed, a
+// thresholded cell, a per-seed frontier check. The sign test runs over
+// units.
+type Unit struct {
+	Label string `json:"label"`
+	// Effect is the unit's signed effect size in the comparison's own
+	// scale (relative regression amount, threshold margin, spread);
+	// positive always favors the hypothesis.
+	Effect  float64 `json:"effect"`
+	Outcome string  `json:"outcome"` // "favor" | "oppose" | "tie"
+}
+
+// Analysis is the deterministic statistical summary the verdict is read
+// from.
+type Analysis struct {
+	Rule         string   `json:"rule"`
+	Units        []Unit   `json:"units"`
+	Favor        int      `json:"favor"`
+	Oppose       int      `json:"oppose"`
+	Ties         int      `json:"ties"`
+	SignP        float64  `json:"sign_p"`     // P(>= favor | fair coin) over decisive units
+	SignPOpp     float64  `json:"sign_p_opp"` // P(>= oppose | fair coin)
+	MedianEffect float64  `json:"median_effect"`
+	Frontiers    []string `json:"frontiers,omitempty"` // pareto: aggregated per-group frontier lines
+	Notes        []string `json:"notes,omitempty"`
+}
+
+// analyze evaluates the spec's comparison over the measured cells and
+// writes Analysis + Verdict into res.
+func analyze(spec *Spec, res *Result) {
+	switch spec.Compare.Type {
+	case ComparePareto:
+		analyzePareto(spec, res)
+	case CompareThreshold:
+		analyzeThreshold(spec, res)
+	case CompareRegression:
+		analyzeRegression(spec, res)
+	case CompareEquivalence:
+		analyzeEquivalence(spec, res)
+	}
+	finishVerdict(spec, res)
+}
+
+// finishVerdict turns the unit tallies into the verdict: unanimity (or
+// the exact sign-test bound when alpha > 0) confirms or refutes; failed
+// runs force Inconclusive — a hypothesis is never settled on a partial
+// matrix.
+func finishVerdict(spec *Spec, res *Result) {
+	a := &res.Analysis
+	for _, u := range a.Units {
+		switch u.Outcome {
+		case "favor":
+			a.Favor++
+		case "oppose":
+			a.Oppose++
+		default:
+			a.Ties++
+		}
+	}
+	n := a.Favor + a.Oppose
+	a.SignP = signTestP(a.Favor, n)
+	a.SignPOpp = signTestP(a.Oppose, n)
+	effects := make([]float64, 0, len(a.Units))
+	for _, u := range a.Units {
+		effects = append(effects, u.Effect)
+	}
+	a.MedianEffect = median(effects)
+
+	alpha := spec.Compare.Alpha
+	if alpha > 0 {
+		a.Rule += fmt.Sprintf("; decided by exact sign test at alpha=%s", fmtF(alpha))
+	} else {
+		a.Rule += "; decided by unanimity over decisive observations"
+	}
+
+	if res.FailedRuns > 0 {
+		res.Verdict = VerdictInconclusive
+		a.Notes = append(a.Notes, fmt.Sprintf("%d run(s) failed: the matrix is incomplete, no verdict is drawn", res.FailedRuns))
+		return
+	}
+	switch {
+	case n == 0:
+		res.Verdict = VerdictInconclusive
+		a.Notes = append(a.Notes, "no decisive observations (all ties)")
+	case a.Oppose == 0:
+		res.Verdict = VerdictConfirmed
+	case a.Favor == 0:
+		res.Verdict = VerdictRefuted
+	case alpha > 0 && a.SignP <= alpha:
+		res.Verdict = VerdictConfirmed
+	case alpha > 0 && a.SignPOpp <= alpha:
+		res.Verdict = VerdictRefuted
+	default:
+		res.Verdict = VerdictInconclusive
+		a.Notes = append(a.Notes, "observations split both ways with no decisive majority")
+	}
+}
+
+// analyzePareto computes the per-seed dominance frontier within each
+// group and checks the expectation selectors; one unit per
+// (group, seed). The aggregated (mean) frontier is also recorded for
+// the report.
+func analyzePareto(spec *Spec, res *Result) {
+	c := spec.Compare
+	a := &res.Analysis
+	a.Rule = fmt.Sprintf("per seed and %s-group, every expect_frontier cell must be non-dominated and every expect_dominated cell dominated on (%s)",
+		joinAxes(c.Within), objectivesLabel(c.Objectives))
+
+	goalMin := make([]bool, len(c.Objectives))
+	for i, o := range c.Objectives {
+		goalMin[i] = o.Goal == "min"
+	}
+	expFront := parseSelectors(c.ExpectFrontier)
+	expDom := parseSelectors(c.ExpectDominated)
+	warnUnmatched(res, "expect_frontier", expFront)
+	warnUnmatched(res, "expect_dominated", expDom)
+
+	groups, labels := groupCells(res.Cells, c.Within, true)
+	for gi, group := range groups {
+		// Skip groups no expectation touches: they carry no evidence.
+		touched := false
+		for _, sel := range append(append([]selector{}, expFront...), expDom...) {
+			for _, ci := range group {
+				if sel.matches(res.Cells[ci].Cell) {
+					touched = true
+				}
+			}
+		}
+		if !touched {
+			continue
+		}
+		// Aggregated (mean) frontier for the report.
+		if mask, ok := groupFrontier(res, group, c.Objectives, goalMin, -1); ok {
+			line := labels[gi] + ":"
+			for k, ci := range group {
+				if mask[k] {
+					line += " [" + res.Cells[ci].Cell.Policy + "]"
+				} else {
+					line += " " + res.Cells[ci].Cell.Policy
+				}
+			}
+			a.Frontiers = append(a.Frontiers, line)
+		}
+		for si := range spec.Seeds {
+			mask, ok := groupFrontier(res, group, c.Objectives, goalMin, si)
+			unit := Unit{Label: fmt.Sprintf("%s seed=%d", labels[gi], spec.Seeds[si])}
+			if !ok {
+				unit.Outcome = "tie" // failed runs in the group; verdict goes Inconclusive anyway
+				a.Units = append(a.Units, unit)
+				continue
+			}
+			holds := true
+			for k, ci := range group {
+				cell := res.Cells[ci].Cell
+				for _, sel := range expFront {
+					if sel.matches(cell) && !mask[k] {
+						holds = false
+					}
+				}
+				for _, sel := range expDom {
+					if sel.matches(cell) && mask[k] {
+						holds = false
+					}
+				}
+			}
+			if holds {
+				unit.Outcome, unit.Effect = "favor", 1
+			} else {
+				unit.Outcome, unit.Effect = "oppose", -1
+			}
+			a.Units = append(a.Units, unit)
+		}
+	}
+}
+
+// groupFrontier builds the dominance mask for one group, reading seed
+// seedIdx's values (or the cross-seed means when seedIdx < 0). ok is
+// false when any needed value is missing.
+func groupFrontier(res *Result, group []int, objectives []Objective, goalMin []bool, seedIdx int) ([]bool, bool) {
+	points := make([][]float64, len(group))
+	for k, ci := range group {
+		pt := make([]float64, len(objectives))
+		for oi, o := range objectives {
+			var v float64
+			var ok bool
+			if seedIdx < 0 {
+				v, ok = res.Cells[ci].aggValue(o.Metric, "mean")
+			} else {
+				v, ok = res.Cells[ci].value(o.Metric, seedIdx)
+			}
+			if !ok {
+				return nil, false
+			}
+			pt[oi] = v
+		}
+		points[k] = pt
+	}
+	return paretoFront(points, goalMin), true
+}
+
+// analyzeThreshold tests Metric Op Value on every selected cell: one
+// unit per (cell, seed) under aggregate "seeds", one per cell otherwise.
+// The effect is the relative margin; |margin| <= min_effect is a tie.
+func analyzeThreshold(spec *Spec, res *Result) {
+	c := spec.Compare
+	a := &res.Analysis
+	scope := "all cells"
+	sel := selector{}
+	if c.Where != "" {
+		sel, _ = parseSelector(c.Where)
+		scope = "cells " + c.Where
+	}
+	a.Rule = fmt.Sprintf("%s must satisfy %s %s %s (aggregate %s, min_effect %s)",
+		scope, c.Metric, c.Op, fmtF(c.Value), c.Aggregate, fmtF(c.MinEffect))
+
+	denom := math.Abs(c.Value)
+	if denom == 0 {
+		denom = 1
+	}
+	margin := func(v float64) float64 {
+		if c.Op == "<=" {
+			return (c.Value - v) / denom
+		}
+		return (v - c.Value) / denom
+	}
+	addUnit := func(label string, v float64) {
+		m := margin(v)
+		u := Unit{Label: label, Effect: m}
+		switch {
+		case m > c.MinEffect:
+			u.Outcome = "favor"
+		case m < -c.MinEffect:
+			u.Outcome = "oppose"
+		default:
+			u.Outcome = "tie"
+		}
+		a.Units = append(a.Units, u)
+	}
+	matched := false
+	for ci := range res.Cells {
+		cr := &res.Cells[ci]
+		if c.Where != "" && !sel.matches(cr.Cell) {
+			continue
+		}
+		matched = true
+		if c.Aggregate == "seeds" {
+			for si, seed := range spec.Seeds {
+				v, ok := cr.value(c.Metric, si)
+				if !ok {
+					continue // failed run; verdict goes Inconclusive
+				}
+				addUnit(fmt.Sprintf("%s seed=%d", cr.Cell.Label(), seed), v)
+			}
+		} else {
+			v, ok := cr.aggValue(c.Metric, c.Aggregate)
+			if !ok {
+				continue
+			}
+			addUnit(fmt.Sprintf("%s %s", cr.Cell.Label(), c.Aggregate), v)
+		}
+	}
+	if !matched {
+		a.Notes = append(a.Notes, "where selector matched no cells")
+	}
+}
+
+// analyzeRegression pairs candidate cells with control cells (equal on
+// every axis neither selector fixes) and tests "candidate is no worse
+// than control beyond tolerance", seed by seed. The effect is the
+// relative improvement: positive = candidate better.
+func analyzeRegression(spec *Spec, res *Result) {
+	c := spec.Compare
+	a := &res.Analysis
+	a.Rule = fmt.Sprintf("per paired seed, %s of (%s) must not exceed (%s) by more than %s relative (goal %s, min_effect %s)",
+		c.Metric, c.Candidate, c.Control, fmtF(c.Tolerance), c.Goal, fmtF(c.MinEffect))
+
+	cand, _ := parseSelector(c.Candidate)
+	ctrl, _ := parseSelector(c.Control)
+	varied := map[string]bool{}
+	for _, ax := range cand.axes() {
+		varied[ax] = true
+	}
+	for _, ax := range ctrl.axes() {
+		varied[ax] = true
+	}
+	var pairAxes []string
+	for _, ax := range axisNames {
+		if !varied[ax] {
+			pairAxes = append(pairAxes, ax)
+		}
+	}
+
+	candIdx := selectCells(res.Cells, cand)
+	ctrlByKey := map[string][]int{}
+	for _, ci := range selectCells(res.Cells, ctrl) {
+		key := res.Cells[ci].Cell.labelOn(pairAxes)
+		ctrlByKey[key] = append(ctrlByKey[key], ci)
+	}
+	if len(candIdx) == 0 {
+		a.Notes = append(a.Notes, "candidate selector matched no cells")
+	}
+	for _, ci := range candIdx {
+		key := res.Cells[ci].Cell.labelOn(pairAxes)
+		ctrls := ctrlByKey[key]
+		if len(ctrls) != 1 {
+			a.Notes = append(a.Notes, fmt.Sprintf("cell %s: %d control cell(s) matched, want exactly 1 — pair skipped",
+				res.Cells[ci].Cell.Label(), len(ctrls)))
+			continue
+		}
+		cc, kc := &res.Cells[ci], &res.Cells[ctrls[0]]
+		for si, seed := range spec.Seeds {
+			cv, okC := cc.value(c.Metric, si)
+			kv, okK := kc.value(c.Metric, si)
+			if !okC || !okK {
+				continue // failed run; verdict goes Inconclusive
+			}
+			// worse > 0 means the candidate regressed.
+			var worse float64
+			switch {
+			case kv == 0 && cv == 0:
+				worse = 0
+			case kv == 0:
+				worse = math.Inf(1)
+				if c.Goal == "max" {
+					worse = math.Inf(-1)
+				}
+			case c.Goal == "min":
+				worse = (cv - kv) / math.Abs(kv)
+			default:
+				worse = (kv - cv) / math.Abs(kv)
+			}
+			u := Unit{Label: fmt.Sprintf("%s seed=%d", cc.Cell.Label(), seed), Effect: -worse}
+			switch {
+			case worse <= c.Tolerance:
+				u.Outcome = "favor"
+			case worse > c.Tolerance+c.MinEffect:
+				u.Outcome = "oppose"
+			default:
+				u.Outcome = "tie"
+			}
+			a.Units = append(a.Units, u)
+		}
+	}
+}
+
+// analyzeEquivalence checks that within each group of cells differing
+// only on the Over axis, the metric's relative spread stays within
+// tolerance for every seed. The effect is tolerance − spread.
+func analyzeEquivalence(spec *Spec, res *Result) {
+	c := spec.Compare
+	a := &res.Analysis
+	a.Rule = fmt.Sprintf("per seed, %s must agree across the %s axis within %s relative spread",
+		c.Metric, c.Over, fmtF(c.Tolerance))
+
+	groups, labels := groupCells(res.Cells, []string{c.Over}, false)
+	for gi, group := range groups {
+		if len(group) < 2 {
+			continue
+		}
+		for si, seed := range spec.Seeds {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			complete := true
+			for _, ci := range group {
+				v, ok := res.Cells[ci].value(c.Metric, si)
+				if !ok {
+					complete = false
+					break
+				}
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			if !complete {
+				continue // failed run; verdict goes Inconclusive
+			}
+			denom := math.Max(math.Abs(lo), math.Abs(hi))
+			spread := 0.0
+			if denom > 0 {
+				spread = (hi - lo) / denom
+			}
+			u := Unit{Label: fmt.Sprintf("%s seed=%d", labels[gi], seed), Effect: c.Tolerance - spread}
+			if spread <= c.Tolerance {
+				u.Outcome = "favor"
+			} else {
+				u.Outcome = "oppose"
+			}
+			a.Units = append(a.Units, u)
+		}
+	}
+	if len(a.Units) == 0 {
+		a.Notes = append(a.Notes, fmt.Sprintf("no group varies on the %s axis", c.Over))
+	}
+}
+
+// parseSelectors parses validated selectors (errors were caught at
+// Validate time; a malformed one here matches nothing).
+func parseSelectors(srcs []string) []selector {
+	out := make([]selector, 0, len(srcs))
+	for _, s := range srcs {
+		sel, err := parseSelector(s)
+		if err == nil {
+			out = append(out, sel)
+		}
+	}
+	return out
+}
+
+// warnUnmatched notes expectation selectors that select no cell at all
+// (usually a typo the verdict should not silently absorb).
+func warnUnmatched(res *Result, field string, sels []selector) {
+	for _, sel := range sels {
+		if len(selectCells(res.Cells, sel)) == 0 {
+			res.Analysis.Notes = append(res.Analysis.Notes,
+				fmt.Sprintf("%s selector %q matches no cell", field, sel.src))
+		}
+	}
+}
+
+func joinAxes(axes []string) string {
+	out := ""
+	for i, a := range axes {
+		if i > 0 {
+			out += "+"
+		}
+		out += a
+	}
+	return out
+}
+
+func objectivesLabel(objs []Objective) string {
+	out := ""
+	for i, o := range objs {
+		if i > 0 {
+			out += ", "
+		}
+		out += o.Metric + "↓"
+		if o.Goal == "max" {
+			out = out[:len(out)-len("↓")] + "↑"
+		}
+	}
+	return out
+}

@@ -68,6 +68,59 @@ func TestHistogramEdgeValues(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins Quantile's contract at the
+// boundaries: empty snapshots, a single sample, q=0 and q=1, and
+// quantiles of merged snapshots. The hypothesis engine (internal/hypo)
+// aggregates seed values through these paths, so their behavior is part
+// of the report-determinism contract.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty obs.HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	var one obs.Histogram
+	one.Observe(0.25)
+	s := one.Snapshot()
+	// Every quantile of a single-sample histogram is that sample's
+	// bucket, capped at the exact max — so exactly the sample here.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got != 0.25 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 0.25", q, got)
+		}
+	}
+
+	// q=0 clamps the target to the first observation; q=1 lands on the
+	// last and is capped at the exact observed max.
+	var h obs.Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s = h.Snapshot()
+	lo, hi := s.Quantile(0), s.Quantile(1)
+	if lo <= 0 || lo > 1.25 {
+		t.Fatalf("Quantile(0) = %v, want the first bucket (~1)", lo)
+	}
+	if hi != s.Max || hi != 100 {
+		t.Fatalf("Quantile(1) = %v, want exact max 100", hi)
+	}
+
+	// Merging empty into populated and vice versa keeps quantiles.
+	m := s
+	m.Merge(empty)
+	if m.Quantile(1) != 100 || m.Count != 100 {
+		t.Fatalf("merge(empty) changed the histogram: p100=%v count=%d", m.Quantile(1), m.Count)
+	}
+	e := empty
+	e.Merge(s)
+	if e.Quantile(1) != 100 || e.Count != 100 {
+		t.Fatalf("empty.Merge(s) lost data: p100=%v count=%d", e.Quantile(1), e.Count)
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	var a, b obs.Histogram
 	for i := 0; i < 100; i++ {

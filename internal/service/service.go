@@ -273,8 +273,8 @@ func (s *Service) validate(req *SubmitRequest) *ErrorBody {
 	case "experiment":
 		if !harness.IsExperiment(req.Experiment) {
 			return &ErrorBody{Code: CodeUnknownExperiment,
-				Message: fmt.Sprintf("unknown experiment %q (want %s)",
-					req.Experiment, strings.Join(harness.ExperimentNames(), " | "))}
+				Message: (&harness.NotFoundError{Kind: "experiment", Name: req.Experiment,
+					Valid: harness.ExperimentNames()}).Error()}
 		}
 		return nil
 	case "run":
@@ -284,7 +284,9 @@ func (s *Service) validate(req *SubmitRequest) *ErrorBody {
 		}
 		if req.Workload != "" {
 			if _, err := workloads.ByName(req.Workload); err != nil {
-				return &ErrorBody{Code: CodeUnknownWorkload, Message: err.Error()}
+				return &ErrorBody{Code: CodeUnknownWorkload,
+					Message: (&harness.NotFoundError{Kind: "workload", Name: req.Workload,
+						Valid: workloads.Names()}).Error()}
 			}
 		} else {
 			if _, body := assembleKasm(req.Kasm, req.AllowLint); body != nil {
@@ -294,8 +296,8 @@ func (s *Service) validate(req *SubmitRequest) *ErrorBody {
 		for _, p := range resolvePolicies(req) {
 			if !knownPolicy(p) {
 				return &ErrorBody{Code: CodeUnknownPolicy,
-					Message: fmt.Sprintf("unknown policy %q (want %s)",
-						p, strings.Join(harness.PolicyNames, " | "))}
+					Message: (&harness.NotFoundError{Kind: "policy", Name: p,
+						Valid: harness.PolicyNames}).Error()}
 			}
 		}
 		return nil

@@ -1,0 +1,95 @@
+package specfile
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type toy struct {
+	Name  string   `json:"name"`
+	N     int      `json:"n"`
+	Flags []string `json:"flags,omitempty"`
+	Sub   []item   `json:"sub,omitempty"`
+}
+
+type item struct {
+	Key string  `json:"key"`
+	W   float64 `json:"w,omitempty"`
+}
+
+func TestDecodeYAMLAndJSONAgree(t *testing.T) {
+	yaml := `
+# a toy spec
+name: demo      # trailing comment
+n: 7
+flags: [a, "b c", 'd']
+sub:
+  - key: x
+    w: 1.5
+  - key: y
+`
+	jsonForm := `{"name":"demo","n":7,"flags":["a","b c","d"],"sub":[{"key":"x","w":1.5},{"key":"y"}]}`
+	var fromYAML, fromJSON toy
+	if err := Decode([]byte(yaml), "toy", &fromYAML); err != nil {
+		t.Fatal(err)
+	}
+	if err := Decode([]byte(jsonForm), "toy", &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromYAML, fromJSON) {
+		t.Fatalf("YAML and JSON forms disagree:\n yaml %+v\n json %+v", fromYAML, fromJSON)
+	}
+	want := toy{Name: "demo", N: 7, Flags: []string{"a", "b c", "d"},
+		Sub: []item{{Key: "x", W: 1.5}, {Key: "y"}}}
+	if !reflect.DeepEqual(fromYAML, want) {
+		t.Fatalf("decoded %+v, want %+v", fromYAML, want)
+	}
+}
+
+// TestDecodeErrors pins the typed-error contract: every rejection is a
+// *ParseError carrying the caller's prefix, with a source line when the
+// problem is addressable.
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+		wantLine       bool
+	}{
+		{"empty", "  \n# only a comment\n", "empty spec", false},
+		{"tabs", "name: x\n\tn: 1\n", "tabs", true},
+		{"unknown field", "name: x\nn: 1\nturbo: 9\n", "unknown field", false},
+		{"duplicate key", "name: x\nname: y\n", "duplicate key", true},
+		{"unterminated flow list", "name: x\nflags: [a, b\n", "unterminated flow list", true},
+		{"bad json", "{not json", "bad JSON", false},
+		{"scalar at top", "name: x\njust a scalar\n", "key: value", true},
+		{"shape mismatch", "name: x\nn: [1, 2]\n", "spec shape", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out toy
+			err := Decode([]byte(tc.in), "toy", &out)
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *ParseError", err)
+			}
+			if pe.Prefix != "toy" || !strings.HasPrefix(pe.Error(), "toy: ") {
+				t.Fatalf("prefix not carried: %q", pe.Error())
+			}
+			if !strings.Contains(pe.Msg, tc.want) {
+				t.Fatalf("msg %q does not mention %q", pe.Msg, tc.want)
+			}
+			if tc.wantLine && pe.Line <= 0 {
+				t.Fatalf("expected a source line, got %+v", pe)
+			}
+		})
+	}
+}
+
+func TestDecodeFileWrapsPath(t *testing.T) {
+	var out toy
+	err := DecodeFile("/nonexistent/spec.yaml", "toy", &out)
+	if err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

@@ -1,26 +1,17 @@
 package workspec
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"regmutex/internal/specfile"
 )
 
-// ParseError is a syntax-level rejection, addressed by source line.
-type ParseError struct {
-	Line int
-	Msg  string
-}
-
-func (e *ParseError) Error() string {
-	if e.Line > 0 {
-		return fmt.Sprintf("workspec: line %d: %s", e.Line, e.Msg)
-	}
-	return "workspec: " + e.Msg
-}
+// ParseError is a syntax-level rejection, addressed by source line. It
+// is the shared spec-front-end error (internal/specfile) labeled with
+// this package's vocabulary; the alias keeps `*workspec.ParseError`
+// working for existing errors.As callers.
+type ParseError = specfile.ParseError
 
 // Parse reads a workload spec from YAML-subset or JSON bytes (JSON when
 // the first non-space byte is '{'), decodes it strictly — unknown keys
@@ -28,30 +19,12 @@ func (e *ParseError) Error() string {
 // subset is block mappings and sequences by indentation, "- " list
 // items, inline flow lists ([a, b]), quoted or bare scalars, and "#"
 // comments; anchors, multi-document streams, and multiline strings are
-// deliberately out (see DESIGN.md §13 for the grammar).
+// deliberately out (see DESIGN.md §13 for the grammar; the decoder
+// itself lives in internal/specfile and is shared with internal/hypo).
 func Parse(data []byte) (*Spec, error) {
-	trimmed := bytes.TrimLeft(data, " \t\r\n")
-	var tree any
-	if len(trimmed) > 0 && trimmed[0] == '{' {
-		if err := json.Unmarshal(data, &tree); err != nil {
-			return nil, &ParseError{Msg: "bad JSON: " + err.Error()}
-		}
-	} else {
-		var err error
-		tree, err = parseYAML(data)
-		if err != nil {
-			return nil, err
-		}
-	}
-	canonical, err := json.Marshal(tree)
-	if err != nil {
-		return nil, &ParseError{Msg: err.Error()}
-	}
-	dec := json.NewDecoder(bytes.NewReader(canonical))
-	dec.DisallowUnknownFields()
 	var spec Spec
-	if err := dec.Decode(&spec); err != nil {
-		return nil, &ParseError{Msg: decodeMsg(err)}
+	if err := specfile.Decode(data, "workspec", &spec); err != nil {
+		return nil, err
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -70,246 +43,4 @@ func ParseFile(path string) (*Spec, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return spec, nil
-}
-
-// decodeMsg rewrites encoding/json's strict-mode errors into spec
-// vocabulary ("unknown field" instead of Go struct talk).
-func decodeMsg(err error) string {
-	msg := err.Error()
-	if strings.Contains(msg, "unknown field") {
-		return strings.TrimPrefix(msg, "json: ")
-	}
-	return "spec shape: " + msg
-}
-
-// ---------------------------------------------------------------------
-// YAML-subset parser: indentation-structured mappings and sequences
-// over scalar leaves, producing a JSON-compatible any-tree.
-// ---------------------------------------------------------------------
-
-type yline struct {
-	num    int
-	indent int
-	text   string
-}
-
-type yparser struct {
-	lines []yline
-	i     int
-}
-
-func parseYAML(data []byte) (any, error) {
-	var lines []yline
-	for num, raw := range strings.Split(string(data), "\n") {
-		line := strings.TrimRight(raw, " \r")
-		text := stripComment(line)
-		trimmed := strings.TrimLeft(text, " ")
-		if trimmed == "" {
-			continue
-		}
-		indent := len(text) - len(trimmed)
-		if strings.ContainsRune(text[:indent], '\t') || strings.HasPrefix(trimmed, "\t") {
-			return nil, &ParseError{Line: num + 1, Msg: "tabs are not allowed in indentation"}
-		}
-		lines = append(lines, yline{num: num + 1, indent: indent, text: trimmed})
-	}
-	if len(lines) == 0 {
-		return nil, &ParseError{Msg: "empty spec"}
-	}
-	p := &yparser{lines: lines}
-	node, err := p.parseNode(lines[0].indent)
-	if err != nil {
-		return nil, err
-	}
-	if p.i < len(p.lines) {
-		l := p.lines[p.i]
-		return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("unexpected de-indented content %q", l.text)}
-	}
-	return node, nil
-}
-
-// stripComment removes a trailing "#" comment that is not inside a
-// quoted string (a "#" must be at line start or preceded by a space to
-// count, matching YAML's rule).
-func stripComment(line string) string {
-	var quote byte
-	for i := 0; i < len(line); i++ {
-		c := line[i]
-		switch {
-		case quote != 0:
-			if c == quote {
-				quote = 0
-			}
-		case c == '\'' || c == '"':
-			quote = c
-		case c == '#' && (i == 0 || line[i-1] == ' '):
-			return line[:i]
-		}
-	}
-	return line
-}
-
-func (p *yparser) parseNode(indent int) (any, error) {
-	l := p.lines[p.i]
-	if l.indent != indent {
-		return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("bad indentation (got %d, want %d)", l.indent, indent)}
-	}
-	if isItem(l.text) {
-		return p.parseSequence(indent)
-	}
-	return p.parseMapping(indent)
-}
-
-func isItem(text string) bool { return text == "-" || strings.HasPrefix(text, "- ") }
-
-func (p *yparser) parseSequence(indent int) (any, error) {
-	var out []any
-	for p.i < len(p.lines) {
-		l := p.lines[p.i]
-		if l.indent != indent || !isItem(l.text) {
-			break
-		}
-		rest := strings.TrimLeft(strings.TrimPrefix(l.text, "-"), " ")
-		if rest == "" {
-			// "-" alone: the item is the nested block on following lines.
-			p.i++
-			if p.i >= len(p.lines) || p.lines[p.i].indent <= indent {
-				return nil, &ParseError{Line: l.num, Msg: "empty sequence item"}
-			}
-			v, err := p.parseNode(p.lines[p.i].indent)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, v)
-			continue
-		}
-		// "- key: v" starts an inline mapping (or scalar) whose entries
-		// continue on following lines indented past the dash.
-		inner := indent + (len(l.text) - len(rest))
-		if keyOf(rest) != "" {
-			p.lines[p.i] = yline{num: l.num, indent: inner, text: rest}
-			v, err := p.parseMapping(inner)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, v)
-			continue
-		}
-		p.i++
-		v, err := parseScalar(rest, l.num)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// keyOf returns the mapping key when text is a "key:" or "key: value"
-// entry with a bare (unquoted, bracket-free) key, else "".
-func keyOf(text string) string {
-	idx := strings.Index(text, ":")
-	if idx <= 0 {
-		return ""
-	}
-	if idx+1 < len(text) && text[idx+1] != ' ' {
-		return "" // "a:b" is a scalar, not an entry
-	}
-	key := strings.TrimSpace(text[:idx])
-	if key == "" || strings.ContainsAny(key, "'\"[]{}#") {
-		return ""
-	}
-	return key
-}
-
-func (p *yparser) parseMapping(indent int) (any, error) {
-	out := map[string]any{}
-	for p.i < len(p.lines) {
-		l := p.lines[p.i]
-		if l.indent < indent {
-			break
-		}
-		if l.indent > indent {
-			return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("unexpected indentation under mapping (got %d, want %d)", l.indent, indent)}
-		}
-		if isItem(l.text) {
-			break
-		}
-		key := keyOf(l.text)
-		if key == "" {
-			return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("expected \"key: value\", got %q", l.text)}
-		}
-		if _, dup := out[key]; dup {
-			return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("duplicate key %q", key)}
-		}
-		after := strings.TrimSpace(l.text[strings.Index(l.text, ":")+1:])
-		p.i++
-		if after != "" {
-			v, err := parseScalar(after, l.num)
-			if err != nil {
-				return nil, err
-			}
-			out[key] = v
-			continue
-		}
-		// Bare "key:": the value is the nested block — deeper-indented
-		// lines, or a sequence whose dashes sit at the key's own indent.
-		if p.i < len(p.lines) && (p.lines[p.i].indent > indent ||
-			(p.lines[p.i].indent == indent && isItem(p.lines[p.i].text))) {
-			v, err := p.parseNode(p.lines[p.i].indent)
-			if err != nil {
-				return nil, err
-			}
-			out[key] = v
-			continue
-		}
-		out[key] = nil
-	}
-	return out, nil
-}
-
-func parseScalar(s string, line int) (any, error) {
-	switch {
-	case strings.HasPrefix(s, "["):
-		if !strings.HasSuffix(s, "]") {
-			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unterminated flow list %q", s)}
-		}
-		body := strings.TrimSpace(s[1 : len(s)-1])
-		if body == "" {
-			return []any{}, nil
-		}
-		var out []any
-		for _, part := range strings.Split(body, ",") {
-			v, err := parseScalar(strings.TrimSpace(part), line)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, v)
-		}
-		return out, nil
-	case strings.HasPrefix(s, `"`):
-		v, err := strconv.Unquote(s)
-		if err != nil {
-			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad quoted string %s", s)}
-		}
-		return v, nil
-	case strings.HasPrefix(s, "'"):
-		if len(s) < 2 || !strings.HasSuffix(s, "'") {
-			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("bad quoted string %s", s)}
-		}
-		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
-	case s == "true":
-		return true, nil
-	case s == "false":
-		return false, nil
-	case s == "null" || s == "~":
-		return nil, nil
-	}
-	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return n, nil
-	}
-	if f, err := strconv.ParseFloat(s, 64); err == nil {
-		return f, nil
-	}
-	return s, nil
 }
