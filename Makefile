@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke chaos-smoke fleet-smoke load-smoke hypo-smoke
+.PHONY: build test verify bench bench-quick microbench quick obs-smoke obs-bench serve-smoke chaos-smoke fleet-smoke load-smoke hypo-smoke sweep-smoke sweep-fleet
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,9 @@ test:
 # and the gpusimrouter three-instance selftest with a mid-run kill,
 # and the workload-spec load smoke (per-SLO-class histograms present
 # and nonzero), and the hypothesis smoke (pinned verdicts, byte-equal
-# reports across -j, the Refuted gate biting).
+# reports across -j, the Refuted gate biting), and the saturation
+# smoke (climb the tiny ladder against a loopback daemon, require the
+# knee and the BENCH saturation section).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -29,6 +31,7 @@ verify:
 	$(MAKE) fleet-smoke
 	$(MAKE) load-smoke
 	$(MAKE) hypo-smoke
+	$(MAKE) sweep-smoke
 
 # The benchmark-trajectory harness: run the fixed workload×policy
 # simulator matrix plus the gpusimd loopback load phase and write a
@@ -99,6 +102,27 @@ hypo-smoke:
 	grep -q '^\*\*Status:\*\* Refuted$$' /tmp/hypo-smoke-j1/h4-static-matches-regmutex/FINDINGS.md
 	! $(GO) run ./cmd/hypo -gate -out /tmp/hypo-smoke-jN examples/hypotheses
 	rm -rf /tmp/hypo-smoke-j1 /tmp/hypo-smoke-jN
+
+# Climb the tiny 3-rung saturation ladder against a fresh loopback
+# daemon: live-drive each rung (any failed job aborts), calibrate the
+# workload's simulation cost, find the knee in the virtual-time model,
+# and require both the knee (benchreg -sweep exits 1 without one) and
+# the BENCH saturation section. The knee numbers are byte-deterministic
+# — model time, not wall clock — so this gate cannot flake on slow CI.
+sweep-smoke:
+	$(GO) run ./cmd/benchreg -quick -load-only -sweep examples/sweeps/sweep-smoke.yaml -compress 20 -out /tmp/benchreg-sweep-smoke.json
+	grep -q '"saturation"' /tmp/benchreg-sweep-smoke.json
+	grep -q '"knee_found": true' /tmp/benchreg-sweep-smoke.json
+	rm -f /tmp/benchreg-sweep-smoke.json
+
+# The fleet-sized sweep: the same ladder shape through a gpusimrouter
+# over three instances, so the knee prices in routing overhead. Not in
+# `make verify` (the daemon smoke already gates the analyzer); run it
+# when touching the router hot path.
+sweep-fleet:
+	$(GO) run ./cmd/benchreg -quick -load-only -router -sweep examples/sweeps/sweep-fleet.yaml -compress 20 -out /tmp/benchreg-sweep-fleet.json
+	grep -q '"router-fleet-3"' /tmp/benchreg-sweep-fleet.json
+	rm -f /tmp/benchreg-sweep-fleet.json
 
 # Boot a three-instance gpusimd fleet behind a gpusimrouter on loopback
 # ports, submit through the router, kill the instance that served the

@@ -7,6 +7,8 @@
 //	benchreg -quick -out b.json   # CI-sized smoke run
 //	benchreg -spec examples/workloads/bursty-mix.yaml -router
 //	benchreg -replay trace.jsonl -compress 10 -load-only
+//	benchreg -sweep examples/sweeps/sweep-smoke.yaml -load-only -quick
+//	benchreg -sweep examples/sweeps/sweep-fleet.yaml -router
 //	benchreg -compare old.json new.json   # exit 1 on >10% regression
 //	benchreg -compare -threshold 0.05 old.json new.json
 //
@@ -24,6 +26,7 @@ import (
 
 	"regmutex/internal/benchreg"
 	"regmutex/internal/obs"
+	"regmutex/internal/saturate"
 	"regmutex/internal/workspec"
 )
 
@@ -33,7 +36,8 @@ func main() {
 	spec := flag.String("spec", "", "workload spec (YAML-subset or JSON) driving the load phase (default: the legacy builtin)")
 	replay := flag.String("replay", "", "replay a recorded JSONL trace (gpusimd -record) as the load phase instead of a spec")
 	compress := flag.Float64("compress", 0, "divide schedule arrival offsets by this factor (0 or 1 = real time)")
-	loadOnly := flag.Bool("load-only", false, "skip the simulator matrix; run only the load (and -router) phases and assert per-SLO-class histograms are present and nonzero")
+	loadOnly := flag.Bool("load-only", false, "skip the simulator matrix; run only the load (and -router) phases and assert per-SLO-class histograms are present and nonzero (with -sweep: run only the sweep phase)")
+	sweep := flag.String("sweep", "", "saturation sweep spec (YAML-subset or JSON): drive its offered-load ladder against a fresh loopback daemon (or, with -router, a 3-instance router fleet) and record the knee in the saturation section; fails when no knee is found")
 	jobs := flag.Int("jobs", 0, "deprecated shim: legacy load-phase request count, synthesized into the builtin legacy spec (0 = mode default; ignored with -spec/-replay)")
 	par := flag.Int("par", 0, "SM-stepping workers inside each simulation (0 = GOMAXPROCS, 1 = serial; cycle counts identical at any value)")
 	router := flag.Bool("router", false, "add the fleet phase: the schedule through a gpusimrouter over 3 instances with one killed mid-load")
@@ -112,14 +116,30 @@ func main() {
 		}
 		o.Schedule = sched
 	}
+	if *sweep != "" {
+		s, err := saturate.ParseFile(*sweep)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		o.SweepSpec = s
+	}
 
 	res, err := benchreg.Run(o)
 	if err != nil {
 		fail(1, "%v", err)
 	}
-	if *loadOnly {
+	if *loadOnly && res.Load != nil {
 		if err := assertLoad(res); err != nil {
 			fail(1, "load smoke: %v", err)
+		}
+	}
+	if *sweep != "" {
+		if res.Saturation == nil {
+			fail(1, "sweep ran but produced no saturation section")
+		}
+		if !res.Saturation.KneeFound {
+			fail(1, "sweep %s found no knee across %d steps: raise ladder.steps or ladder.factor so the target actually saturates",
+				res.Saturation.Spec, len(res.Saturation.Steps))
 		}
 	}
 	path := *out
@@ -129,16 +149,24 @@ func main() {
 	if err := res.WriteFile(path); err != nil {
 		fail(1, "%v", err)
 	}
-	fmt.Printf("benchreg: wrote %s (%d sim cells, spec %s, %d load jobs, p99 %.1fms, memo hit rate %.0f%%)\n",
-		path, len(res.Sim), res.Load.Spec, res.Load.Jobs, res.Service.Latency.P99, 100*res.Load.MemoHitRate)
-	for _, class := range sortedClasses(res.Load.Classes) {
-		c := res.Load.Classes[class]
-		fmt.Printf("benchreg:   slo %-10s %3d jobs, p50 %.1fms, p99 %.1fms, %d coalesced\n",
-			class, c.Jobs, c.Latency.P50, c.Latency.P99, c.Coalesced)
+	if res.Load != nil {
+		fmt.Printf("benchreg: wrote %s (%d sim cells, spec %s, %d load jobs, p99 %.1fms, memo hit rate %.0f%%)\n",
+			path, len(res.Sim), res.Load.Spec, res.Load.Jobs, res.Service.Latency.P99, 100*res.Load.MemoHitRate)
+		for _, class := range sortedClasses(res.Load.Classes) {
+			c := res.Load.Classes[class]
+			fmt.Printf("benchreg:   slo %-10s %3d jobs, p50 %.1fms, p99 %.1fms, %d coalesced\n",
+				class, c.Jobs, c.Latency.P50, c.Latency.P99, c.Coalesced)
+		}
+	} else {
+		fmt.Printf("benchreg: wrote %s\n", path)
 	}
 	if res.Fleet != nil {
 		fmt.Printf("benchreg: fleet (1 of %d instances killed mid-load): %d jobs, p99 %.1fms, memo hit rate %.0f%%, %d failover(s), %d retrie(s)\n",
 			res.Fleet.Instances, res.Fleet.Jobs, res.Fleet.Latency.P99, 100*res.Fleet.MemoHitRate, res.Fleet.Failovers, res.Fleet.Retries)
+	}
+	if sat := res.Saturation; sat != nil {
+		fmt.Printf("benchreg: saturation (%s): knee at %.1f offered jobs/sec -> %.1f goodput jobs/sec, p99 %.1fms (rule %s fired at step %d of %d)\n",
+			sat.Target, sat.KneeOfferedPerSec, sat.KneeGoodputPerSec, sat.KneeP99Ms, sat.KneeReason, sat.KneeStep+1, len(sat.Steps))
 	}
 }
 

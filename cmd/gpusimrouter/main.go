@@ -23,10 +23,12 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -325,8 +327,48 @@ func runSelftest(o options, drainWait time.Duration) error {
 	}
 	fmt.Printf("gpusimrouter: selftest survived instance kill, rerouted to %s\n", f3.Instance)
 
+	// Tracing + readiness: the failover job's merged fleet trace must
+	// validate as Chrome-trace JSON and carry both router- and
+	// instance-side stages, and /readyz must still call the degraded
+	// fleet (one of three instances dead) routable.
+	resp, err := http.Get(base + "/v1/traces/" + f3.ID)
+	if err != nil {
+		return err
+	}
+	traceJSON, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet trace for %s: status %d (%s)", f3.ID, resp.StatusCode, traceJSON)
+	}
+	if err := obs.ValidateChromeTrace(bytes.NewReader(traceJSON)); err != nil {
+		return fmt.Errorf("fleet trace does not validate: %v", err)
+	}
+	for _, want := range []string{"router", "route", "run"} {
+		if !strings.Contains(string(traceJSON), want) {
+			return fmt.Errorf("fleet trace missing %q", want)
+		}
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	var readyState cluster.Readiness
+	err = json.NewDecoder(resp.Body).Decode(&readyState)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || readyState.Routable == 0 {
+		return fmt.Errorf("readyz after one kill = %d (%+v), want 200 with routable instances", resp.StatusCode, readyState)
+	}
+	fmt.Printf("gpusimrouter: selftest fleet trace validated (%d bytes), readyz routable=%d/%d\n",
+		len(traceJSON), readyState.Routable, readyState.Instances)
+
 	// Fleet view and metrics: breaker/failover series must be exposed.
-	resp, err := http.Get(base + "/v1/instances")
+	resp, err = http.Get(base + "/v1/instances")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,125 @@
+// Command gpusweep is the standalone fleet saturation analyzer: it
+// climbs a sweep spec's offered-load ladder against a live gpusimd
+// daemon or gpusimrouter fleet and reports the knee — the last offered
+// load the target absorbs before goodput stops scaling or p99 blows
+// through its SLO — with a per-SLO-class per-stage latency breakdown.
+//
+//	gpusweep -spec examples/sweeps/sweep-smoke.yaml -url http://127.0.0.1:8080
+//	gpusweep -spec sweep.yaml -url http://router:9090 -json > report.json
+//	gpusweep -spec sweep.yaml -from-report report.json     # offline re-analysis
+//	gpusweep -spec sweep.yaml -url ... -require-knee       # CI gate: exit 1 if no knee
+//
+// The report is byte-deterministic for a given spec + seed: the live
+// target is used to verify serving and calibrate per-request simulation
+// costs, while all latency analysis runs in a virtual-time queue model
+// (see DESIGN.md §15). -from-report reuses a previous report's
+// calibration instead of a live target, so knee rules and model knobs
+// can be re-tuned offline.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"regmutex/internal/obs"
+	"regmutex/internal/saturate"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "sweep spec file (YAML-subset or JSON), required")
+	url := flag.String("url", "", "target base URL: a gpusimd daemon or gpusimrouter fleet")
+	fromReport := flag.String("from-report", "", "reuse a previous report's calibrated costs instead of a live target (offline re-analysis)")
+	compress := flag.Float64("compress", 0, "divide the live drive's arrival offsets (model times unaffected; 0 or 1 = real time)")
+	inflight := flag.Int("inflight", 0, "live drive's max concurrent requests (0 = default 8)")
+	out := flag.String("out", "", "also write the canonical JSON report to this path")
+	jsonOut := flag.Bool("json", false, "print the canonical JSON report to stdout instead of the text summary")
+	requireKnee := flag.Bool("require-knee", false, "exit 1 when no knee is found (CI gate)")
+	logFormat := flag.String("log-format", obs.LogText, "structured log format: text|json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	if *specPath == "" {
+		fail(2, "usage: gpusweep -spec sweep.yaml (-url http://target | -from-report report.json)")
+	}
+	if (*url == "") == (*fromReport == "") {
+		fail(2, "exactly one of -url or -from-report required")
+	}
+
+	spec, err := saturate.ParseFile(*specPath)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	o := saturate.Options{
+		BaseURL:     *url,
+		Compress:    *compress,
+		MaxInFlight: *inflight,
+		Logger:      logger,
+	}
+	if *fromReport != "" {
+		costs, err := costsFromReport(*fromReport)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		o.Costs = costs
+	}
+
+	rep, err := saturate.Sweep(context.Background(), spec, o)
+	if err != nil {
+		fail(1, "%v", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, rep.Canonical(), 0o644); err != nil {
+			fail(1, "%v", err)
+		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(rep.Canonical())
+	} else {
+		rep.WriteReport(os.Stdout)
+	}
+	if *requireKnee && !rep.KneeFound {
+		fail(1, "no knee found across %d steps: raise ladder.steps or ladder.factor so the target actually saturates", len(rep.Steps))
+	}
+}
+
+// costsFromReport loads the Calibrated section of a previous sweep
+// report (hex fingerprint -> cycles) back into the analyzer's cost map.
+func costsFromReport(path string) (map[uint64]int64, error) {
+	var rep saturate.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Calibrated) == 0 {
+		return nil, fmt.Errorf("%s: no calibrated costs in report", path)
+	}
+	costs := make(map[uint64]int64, len(rep.Calibrated))
+	for hexFP, c := range rep.Calibrated {
+		fp, err := strconv.ParseUint(hexFP, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad fingerprint %q: %w", path, hexFP, err)
+		}
+		costs[fp] = c
+	}
+	return costs, nil
+}
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gpusweep: "+format+"\n", args...)
+	os.Exit(code)
+}

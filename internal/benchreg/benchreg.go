@@ -24,6 +24,7 @@ import (
 	"regmutex/internal/harness"
 	"regmutex/internal/obs"
 	"regmutex/internal/occupancy"
+	"regmutex/internal/saturate"
 	"regmutex/internal/service"
 	"regmutex/internal/sim"
 	"regmutex/internal/workloads"
@@ -54,6 +55,10 @@ type Result struct {
 	// considers it when both trajectory points carry one with matching
 	// spec identity.
 	Fleet *FleetPoint `json:"fleet,omitempty"`
+	// Saturation is the optional saturation-sweep section (-sweep): the
+	// knee of the offered-load ladder. Older points lack it; Compare
+	// warns and skips.
+	Saturation *SaturationPoint `json:"saturation,omitempty"`
 }
 
 // SimPoint is one workload×policy cell of the simulator matrix.
@@ -159,8 +164,15 @@ type Options struct {
 	// (and hence cycles_per_sec) responds to it.
 	Par int
 	// Fleet adds the router load phase: the same schedule through a
-	// gpusimrouter over three instances with one killed mid-storm.
+	// gpusimrouter over three instances with one killed mid-storm. With
+	// SweepSpec set it also retargets the sweep phase at a 3-instance
+	// router fleet instead of a single daemon.
 	Fleet bool
+	// SweepSpec adds the saturation-sweep phase (benchreg -sweep): the
+	// spec's offered-load ladder against a fresh loopback target. When
+	// combined with LoadOnly, the sweep replaces the load phase entirely
+	// (the sweep-smoke gate).
+	SweepSpec *saturate.SweepSpec
 	// Logger narrates phases; nil discards.
 	Logger *slog.Logger
 }
@@ -239,24 +251,42 @@ func Run(o Options) (*Result, error) {
 		res.Sim = sims
 	}
 
-	sched, err := o.schedule()
-	if err != nil {
-		return nil, err
-	}
-	log.Info("load phase", "spec", sched.SpecName, "spec_id", sched.SpecID, "jobs", len(sched.Items))
-	svc, load, err := runServicePhase(sched, o)
-	if err != nil {
-		return nil, err
-	}
-	res.Service, res.Load = svc, load
-
-	if o.Fleet {
-		log.Info("fleet phase", "spec", sched.SpecName, "jobs", len(sched.Items), "instances", 3)
-		fleet, err := runFleetPhase(sched, o)
+	// With LoadOnly + SweepSpec the sweep IS the load: skip the regular
+	// load/fleet phases so the smoke gate measures only the ladder.
+	sweepOnly := o.LoadOnly && o.SweepSpec != nil
+	if !sweepOnly {
+		sched, err := o.schedule()
 		if err != nil {
 			return nil, err
 		}
-		res.Fleet = fleet
+		log.Info("load phase", "spec", sched.SpecName, "spec_id", sched.SpecID, "jobs", len(sched.Items))
+		svc, load, err := runServicePhase(sched, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Service, res.Load = svc, load
+
+		if o.Fleet {
+			log.Info("fleet phase", "spec", sched.SpecName, "jobs", len(sched.Items), "instances", 3)
+			fleet, err := runFleetPhase(sched, o)
+			if err != nil {
+				return nil, err
+			}
+			res.Fleet = fleet
+		}
+	}
+
+	if o.SweepSpec != nil {
+		target := "daemon"
+		if o.Fleet {
+			target = "router-fleet-3"
+		}
+		log.Info("sweep phase", "sweep", o.SweepSpec.Name, "steps", o.SweepSpec.Ladder.Steps, "target", target)
+		sat, err := runSweepPhase(o.SweepSpec, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Saturation = sat
 	}
 	return res, nil
 }
@@ -504,6 +534,36 @@ func Compare(old, new_ *Result, threshold float64) (regs, warns []string, err er
 				continue
 			}
 			higherIsWorse(fmt.Sprintf("load %s latency_p99_ms", class), oc.Latency.P99, nc.Latency.P99)
+		}
+	}
+
+	// The saturation sweep is additive schema growth like the load
+	// section: a point that predates it (or simply didn't run -sweep) is
+	// warned about and skipped, never failed. When both sides swept the
+	// same spec against the same target, the knee IS the trajectory
+	// metric: offered load and goodput at the knee regress by dropping,
+	// the knee-step p99 by rising.
+	switch {
+	case old.Saturation == nil && new_.Saturation != nil:
+		warns = append(warns, "old point predates the saturation section (knee metrics); not compared")
+	case old.Saturation != nil && new_.Saturation == nil:
+		warns = append(warns, "saturation section missing from new result; not compared")
+	case old.Saturation != nil && new_.Saturation != nil:
+		os_, ns := old.Saturation, new_.Saturation
+		if os_.SpecID != ns.SpecID || os_.Target != ns.Target {
+			warns = append(warns, fmt.Sprintf(
+				"saturation sections measured different sweeps (old %s@%s vs new %s@%s); not compared",
+				specLabel(os_.Spec, os_.SpecID), os_.Target, specLabel(ns.Spec, ns.SpecID), ns.Target))
+			break
+		}
+		if os_.KneeFound && !ns.KneeFound {
+			regs = append(regs, "saturation: old point found a knee, new point found none (ladder no longer saturates or detector broke)")
+			break
+		}
+		if os_.KneeFound && ns.KneeFound {
+			lowerIsWorse("saturation knee_offered_per_sec", os_.KneeOfferedPerSec, ns.KneeOfferedPerSec)
+			lowerIsWorse("saturation knee_goodput_per_sec", os_.KneeGoodputPerSec, ns.KneeGoodputPerSec)
+			higherIsWorse("saturation knee_p99_ms", os_.KneeP99Ms, ns.KneeP99Ms)
 		}
 	}
 

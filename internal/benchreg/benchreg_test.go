@@ -4,6 +4,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"regmutex/internal/saturate"
+	"regmutex/internal/workspec"
 )
 
 func point(cyclesPerSec, jobsPerSec, p99 float64) *Result {
@@ -300,5 +303,150 @@ func TestRunQuickEndToEnd(t *testing.T) {
 	}
 	if len(regs) != 0 || len(warns) != 0 {
 		t.Fatalf("self-comparison regressed: %v / %v", regs, warns)
+	}
+}
+
+// satPoint builds a result carrying only a saturation section (plus the
+// base sim/service sections point() provides).
+func satPoint(offered, goodput, p99ms float64) *Result {
+	r := point(1e6, 10, 50)
+	r.Saturation = &SaturationPoint{
+		Spec: "sweep-smoke", SpecID: "aaaaaaaaaaaaaaaa", Seed: 42, Target: "daemon",
+		KneeFound: true, KneeStep: 1, KneeReason: "goodput_slope",
+		KneeOfferedPerSec: offered, KneeGoodputPerSec: goodput, KneeP99Ms: p99ms,
+	}
+	return r
+}
+
+// TestCompareSaturationSection: the saturation section follows the same
+// additive-schema contract as load — warn-and-skip when one side lacks
+// it, identity-gate when both have it, knee metrics as regressions.
+func TestCompareSaturationSection(t *testing.T) {
+	// Old point predates the section: warning, never a regression.
+	old := point(1e6, 10, 50)
+	cur := satPoint(40, 38, 120)
+	regs, warns, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("additive saturation section misread as regression: %v", regs)
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "predates the saturation section") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing predates warning: %v", warns)
+	}
+
+	// Same sweep identity: a knee collapse is a regression on every axis.
+	oldSat := satPoint(40, 38, 120)
+	worse := satPoint(20, 15, 400)
+	regs, warns, err = Compare(oldSat, worse, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("matching sweep identities should not warn: %v", warns)
+	}
+	for _, metric := range []string{"knee_offered_per_sec", "knee_goodput_per_sec", "knee_p99_ms"} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, metric) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("knee metric %s regression not detected: %v", metric, regs)
+		}
+	}
+
+	// Different sweep spec: warn and skip, even with a huge delta.
+	other := satPoint(1, 1, 9999)
+	other.Saturation.SpecID = "bbbbbbbbbbbbbbbb"
+	regs, warns, err = Compare(oldSat, other, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if strings.Contains(r, "saturation") {
+			t.Fatalf("cross-spec saturation sections were diffed: %v", regs)
+		}
+	}
+	found = false
+	for _, w := range warns {
+		if strings.Contains(w, "different sweeps") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing sweep-identity warning: %v", warns)
+	}
+
+	// A knee that vanishes under the same sweep is itself a regression.
+	noKnee := satPoint(40, 38, 120)
+	noKnee.Saturation.KneeFound = false
+	regs, _, err = Compare(oldSat, noKnee, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, r := range regs {
+		if strings.Contains(r, "found none") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vanished knee not detected: %v", regs)
+	}
+}
+
+// TestRunSweepPhaseEndToEnd runs the sweep-smoke shape: LoadOnly +
+// SweepSpec replaces the load phase with the saturation ladder against
+// a live loopback daemon, and the knee must be found. The model knobs
+// are pinned slow (one server, few cycles/sec) so the top rungs always
+// overrun capacity regardless of the calibrated workload cost.
+func TestRunSweepPhaseEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	spec := (&saturate.SweepSpec{
+		Version: saturate.SweepVersion,
+		Name:    "bench-sweep",
+		Seed:    9,
+		Cohorts: []workspec.Cohort{
+			{Name: "hot", SLOClass: "interactive", Requests: 1,
+				Size: workspec.Size{Workload: "bfs", Policy: "static", Scale: 16, SMs: 1}},
+		},
+		Ladder: saturate.Ladder{StartRatePerSec: 4, Factor: 4, Steps: 3, SettleSec: 0.2, MeasureSec: 1},
+		Model:  saturate.Model{Servers: 1, CyclesPerSec: 50_000},
+	}).WithDefaults()
+	res, err := Run(Options{LoadOnly: true, SweepSpec: spec, Compress: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load != nil || res.Service != nil {
+		t.Fatal("sweep-only run still produced a load phase")
+	}
+	sat := res.Saturation
+	if sat == nil {
+		t.Fatal("no saturation section")
+	}
+	if sat.Target != "daemon" || sat.Spec != "bench-sweep" || sat.SpecID == "" {
+		t.Fatalf("saturation point misstamped: %+v", sat)
+	}
+	if !sat.KneeFound {
+		t.Fatalf("no knee across the ladder: %+v", sat.Steps)
+	}
+	if sat.KneeOfferedPerSec <= 0 || sat.KneeP99Ms <= 0 || len(sat.Steps) != 3 {
+		t.Fatalf("degenerate knee: %+v", sat)
+	}
+	for _, s := range sat.Steps {
+		if s.Classes["interactive"] == nil || s.Classes["interactive"].Count == 0 {
+			t.Fatalf("step %d missing per-class breakdown", s.Step)
+		}
 	}
 }

@@ -1,0 +1,136 @@
+package benchreg
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"regmutex/internal/cluster"
+	"regmutex/internal/saturate"
+	"regmutex/internal/service"
+)
+
+// SaturationPoint is the trajectory's saturation section: the knee —
+// the offered load where the target stops absorbing more — is the
+// headline metric, with the full ladder attached for inspection. The
+// numbers come from the analyzer's virtual-time model (see package
+// saturate), so the section is byte-deterministic for a given sweep
+// spec and seed; Compare diffs knee metrics across commits the same way
+// it diffs cycles_per_sec.
+type SaturationPoint struct {
+	Spec   string `json:"spec"`
+	SpecID string `json:"spec_id"`
+	Seed   uint64 `json:"seed"`
+	// Target records what the ladder was driven against
+	// ("daemon" or "router-fleet-3").
+	Target            string                `json:"target"`
+	KneeFound         bool                  `json:"knee_found"`
+	KneeStep          int                   `json:"knee_step"`
+	KneeReason        string                `json:"knee_reason,omitempty"`
+	KneeOfferedPerSec float64               `json:"knee_offered_per_sec,omitempty"`
+	KneeGoodputPerSec float64               `json:"knee_goodput_per_sec,omitempty"`
+	KneeP99Ms         float64               `json:"knee_p99_ms,omitempty"`
+	Steps             []saturate.StepResult `json:"steps"`
+}
+
+// runSweepPhase drives the saturation ladder against a fresh loopback
+// target: a single gpusimd daemon by default, or — with Options.Fleet —
+// a gpusimrouter over three healthy instances, so the knee prices in
+// routing overhead and cross-instance memo affinity.
+func runSweepPhase(spec *saturate.SweepSpec, o Options) (*SaturationPoint, error) {
+	target := "daemon"
+	var baseURL string
+	var shutdown []func()
+	defer func() {
+		for i := len(shutdown) - 1; i >= 0; i-- {
+			shutdown[i]()
+		}
+	}()
+
+	bootInstance := func(workers int) (string, error) {
+		svc, err := service.New(service.Config{Workers: workers, QueueDepth: 4096, Par: o.Par})
+		if err != nil {
+			return "", err
+		}
+		svc.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			return "", err
+		}
+		server := &http.Server{Handler: service.Handler(svc)}
+		go server.Serve(ln)
+		shutdown = append(shutdown, func() { server.Close(); svc.Close() })
+		return "http://" + ln.Addr().String(), nil
+	}
+
+	if o.Fleet {
+		target = "router-fleet-3"
+		var urls []string
+		for i := 0; i < 3; i++ {
+			u, err := bootInstance(2)
+			if err != nil {
+				return nil, err
+			}
+			urls = append(urls, u)
+		}
+		r, err := cluster.New(cluster.Config{
+			Instances:        urls,
+			ProbeInterval:    100 * time.Millisecond,
+			BreakerThreshold: 2,
+			BreakerCooldown:  500 * time.Millisecond,
+			Retry:            cluster.RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 250 * time.Millisecond},
+			Seed:             1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Start()
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		rserver := &http.Server{Handler: cluster.Handler(r)}
+		go rserver.Serve(rln)
+		shutdown = append(shutdown, func() { rserver.Close(); r.Close() })
+		baseURL = "http://" + rln.Addr().String()
+	} else {
+		u, err := bootInstance(4)
+		if err != nil {
+			return nil, err
+		}
+		baseURL = u
+	}
+
+	rep, err := saturate.Sweep(context.Background(), spec, saturate.Options{
+		BaseURL:  baseURL,
+		Compress: o.Compress,
+		Logger:   o.Logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchreg sweep phase: %w", err)
+	}
+	return saturationPoint(rep, target), nil
+}
+
+func saturationPoint(rep *saturate.Report, target string) *SaturationPoint {
+	sp := &SaturationPoint{
+		Spec:              rep.Name,
+		SpecID:            rep.SpecID,
+		Seed:              rep.Seed,
+		Target:            target,
+		KneeFound:         rep.KneeFound,
+		KneeStep:          rep.KneeStep,
+		KneeReason:        rep.KneeReason,
+		KneeOfferedPerSec: rep.KneeOfferedPerSec,
+		KneeGoodputPerSec: rep.KneeGoodputPerSec,
+		Steps:             rep.Steps,
+	}
+	if rep.KneeFound && rep.KneeStep >= 0 && rep.KneeStep < len(rep.Steps) {
+		sp.KneeP99Ms = float64(rep.Steps[rep.KneeStep].P99Us) / 1000
+	}
+	return sp
+}

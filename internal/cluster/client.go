@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"regmutex/internal/obs"
 	"regmutex/internal/service"
 )
 
@@ -81,6 +82,7 @@ type client struct {
 
 	sleep   func(ctx context.Context, d time.Duration) error // injectable for tests
 	onRetry func(reason string)                              // metrics hook
+	spans   *obs.SpanRecorder                                // backoff spans (nil = off)
 }
 
 func newClient(retry RetryPolicy, timeout time.Duration, seed int64, onRetry func(string)) *client {
@@ -151,6 +153,11 @@ func (c *client) attempt(ctx context.Context, method, url string, in, out any) *
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the distributed-trace identity so the instance's
+	// lifecycle spans nest under the router attempt that placed the job.
+	if trace, parent, ok := obs.TraceFromContext(ctx); ok {
+		req.Header.Set(obs.TraceContextHeader, obs.FormatTraceContext(trace, parent))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport failure — but if the *parent* context died, the
@@ -199,7 +206,19 @@ func (c *client) do(ctx context.Context, method, url string, in, out any) *attem
 	for i := 0; i < c.retry.MaxAttempts; i++ {
 		if i > 0 {
 			c.onRetry(retryReason(last))
-			if err := c.sleep(ctx, c.backoff(i-1, last.retryAfter)); err != nil {
+			start := time.Now()
+			err := c.sleep(ctx, c.backoff(i-1, last.retryAfter))
+			if c.spans != nil {
+				if trace, parent, ok := obs.TraceFromContext(ctx); ok {
+					c.spans.Record(obs.Span{
+						Trace: trace, Parent: parent,
+						Stage: obs.StageBackoff, Proc: "router",
+						Note:  retryReason(last),
+						Start: start, End: time.Now(),
+					})
+				}
+			}
+			if err != nil {
 				return &attemptError{err: err, terminal: true}
 			}
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -47,8 +48,16 @@ func WithSSEKeepalive(d time.Duration) HandlerOption {
 //	                            the router re-sequences into its own
 //	                            stable event log)
 //	GET    /v1/instances        per-instance health/breaker/load snapshot
+//	GET    /v1/traces/{id}      merged fleet trace for one trace/job ID:
+//	                            Chrome trace-event JSON by default
+//	                            (?format=breakdown for the per-class
+//	                            per-stage latency table, ?format=spans
+//	                            for the raw merged spans)
 //	GET    /healthz             liveness (always 200, body ok|draining)
-//	GET    /readyz              readiness (503 while draining)
+//	GET    /readyz              readiness (503 while draining, or when
+//	                            zero instances are routable — the body
+//	                            names ejected/open-breaker/draining
+//	                            instances)
 //	GET    /metrics             router metrics (?format=csv|prometheus)
 func Handler(r *Router, opts ...HandlerOption) http.Handler {
 	cfg := handlerConfig{log: obs.NopLogger(), keepalive: 15 * time.Second}
@@ -88,6 +97,31 @@ func Handler(r *Router, opts ...HandlerOption) http.Handler {
 	handle("GET /v1/instances", "v1_instances", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.Instances())
 	})
+	handle("GET /v1/traces/{id}", "v1_traces", func(w http.ResponseWriter, req *http.Request) {
+		// The fleet-trace exporter: router spans + every instance's spans
+		// for one trace, merged. Default output is Chrome trace-event
+		// JSON (load it in Perfetto); ?format=breakdown renders the
+		// per-class per-stage latency table instead; ?format=spans the
+		// raw merged span list.
+		ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ProbeTimeout)
+		defer cancel()
+		spans := r.FleetSpans(ctx, req.PathValue("id"))
+		if len(spans) == 0 {
+			writeError(w, &service.ErrorBody{Code: service.CodeNotFound,
+				Message: "no spans recorded for this trace (rings are bounded; old traces age out)"})
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "breakdown":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			obs.WriteBreakdown(w, obs.Breakdown(spans))
+		case "spans":
+			writeJSON(w, http.StatusOK, spans)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			WriteFleetTrace(w, spans)
+		}
+	})
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, req *http.Request) {
 		status := "ok"
 		if r.Draining() {
@@ -103,7 +137,16 @@ func Handler(r *Router, opts ...HandlerOption) http.Handler {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+		// Fleet-level readiness: a router with zero routable instances
+		// cannot serve, and the body names who is ejected / breaker-open
+		// / draining so an operator's first curl already says why.
+		ready := r.Readiness()
+		if ready.Routable == 0 {
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable, ready)
+			return
+		}
+		writeJSON(w, http.StatusOK, ready)
 	})
 	handle("GET /metrics", "metrics", func(w http.ResponseWriter, req *http.Request) {
 		r.RefreshGauges()
@@ -127,6 +170,14 @@ func handleSubmit(r *Router, w http.ResponseWriter, req *http.Request) {
 	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
 		writeError(w, &service.ErrorBody{Code: service.CodeBadRequest, Message: "bad JSON: " + err.Error()})
 		return
+	}
+	// A client-sent X-Trace-Context stitches our spans into its trace;
+	// with X-Request-Id the request ID becomes the trace; otherwise the
+	// router job ID does (so GET /v1/traces/{jobID} always works).
+	if tc := req.Header.Get(obs.TraceContextHeader); tc != "" {
+		sr.TraceID, sr.TraceParent = obs.ParseTraceContext(tc)
+	} else if rid := req.Header.Get("X-Request-Id"); rid != "" {
+		sr.TraceID = rid
 	}
 	j, body := r.Submit(sr)
 	if body != nil {

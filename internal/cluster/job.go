@@ -18,6 +18,14 @@ type Job struct {
 	Req service.SubmitRequest
 	FP  uint64
 
+	// trace / parentSpan tie the routing spans to the client's
+	// distributed trace (the router job ID when none was supplied);
+	// routeSpan is the root span every attempt/backoff/failover span of
+	// this job parents under.
+	trace      string
+	parentSpan string
+	routeSpan  string
+
 	mu         sync.Mutex
 	state      string
 	instance   string // current / final placement (name)
@@ -51,10 +59,15 @@ func newJob(id string, req service.SubmitRequest) *Job {
 		ID:         id,
 		Req:        req,
 		FP:         req.Fingerprint(),
+		trace:      req.TraceID,
+		parentSpan: req.TraceParent,
 		state:      service.StateQueued,
 		acceptedAt: time.Now(),
 		changed:    make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if j.trace == "" {
+		j.trace = id
 	}
 	j.events = append(j.events, service.Event{Seq: 0, Type: "state", State: service.StateQueued})
 	return j
@@ -189,3 +202,6 @@ func (j *Job) EventsSince(since int) ([]service.Event, <-chan struct{}) {
 }
 
 func (j *Job) age() time.Duration { return time.Since(j.acceptedAt) }
+
+// Trace returns the job's trace ID.
+func (j *Job) Trace() string { return j.trace }

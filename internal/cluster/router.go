@@ -70,6 +70,10 @@ type Config struct {
 	JournalNoSync bool
 	// Seed makes the retry jitter reproducible (0 = 1).
 	Seed int64
+	// SpanCap bounds the routing-span ring (route/attempt/backoff/
+	// failover spans merged by the fleet-trace exporter); 0 picks
+	// obs.DefaultSpanCap.
+	SpanCap int
 	// Logger receives routing lifecycle logs; nil discards.
 	Logger *slog.Logger
 }
@@ -117,6 +121,7 @@ type Router struct {
 	probeClient *http.Client
 	journal     *journal
 	metrics     *obs.Registry
+	spans       *obs.SpanRecorder
 	log         *slog.Logger
 
 	mu      sync.Mutex
@@ -153,6 +158,7 @@ func New(cfg Config) (*Router, error) {
 		probeClient: &http.Client{Timeout: cfg.ProbeTimeout},
 		journal:     jn,
 		metrics:     obs.NewRegistry(),
+		spans:       obs.NewSpanRecorder(cfg.SpanCap, "r"),
 		log:         log,
 		jobs:        make(map[string]*Job),
 		flights:     make(map[uint64]*Job),
@@ -163,6 +169,7 @@ func New(cfg Config) (*Router, error) {
 			r.metrics.Counter("cluster.retries").Inc()
 			r.metrics.Counter("cluster.retries." + reason).Inc()
 		})
+	r.client.spans = r.spans // backoff sleeps record under the job's trace
 	seen := make(map[string]bool)
 	for _, base := range cfg.Instances {
 		base = strings.TrimRight(base, "/")
@@ -244,6 +251,7 @@ func (r *Router) Start() {
 // launch spawns the routing goroutine for a primary job, or attaches a
 // duplicate-fingerprint job to the live primary's flight.
 func (r *Router) launch(j *Job) {
+	j.routeSpan = r.spans.NextID() // before any goroutine can read it
 	r.mu.Lock()
 	primary, dup := r.flights[j.FP]
 	if !dup || primary == j || terminal(primary.State()) {
@@ -308,11 +316,31 @@ func (r *Router) Submit(req service.SubmitRequest) (*Job, *service.ErrorBody) {
 	return j, nil
 }
 
-// finish journals the terminal state and closes out metrics.
+// finish journals the terminal state and closes out metrics plus the
+// job's root route span (accept to terminal, every failover included).
 func (r *Router) finish(j *Job) {
 	state := j.State()
 	r.journal.append(journalRecord{Op: "finish", ID: j.ID, End: state})
 	r.metrics.Histogram("cluster.route_e2e_seconds").Observe(j.age().Seconds())
+	v0 := j.View()
+	note := state
+	if v0.Instance != "" {
+		note = fmt.Sprintf("%s instance=%s attempts=%d", state, v0.Instance, v0.Attempts)
+	}
+	if v0.Coalesced {
+		note += " coalesced"
+	}
+	r.spans.Record(obs.Span{
+		Trace:  j.trace,
+		ID:     j.routeSpan,
+		Parent: j.parentSpan,
+		Stage:  obs.StageRoute,
+		Proc:   "router",
+		Class:  j.Req.SLOClass,
+		Note:   note,
+		Start:  j.acceptedAt,
+		End:    time.Now(),
+	})
 	switch state {
 	case service.StateDone:
 		r.metrics.Counter("cluster.jobs_done").Inc()
@@ -415,6 +443,17 @@ func (r *Router) route(j *Job) {
 			in.breaker.failure()
 			tried[in.name] = true
 			r.metrics.Counter("cluster.failovers").Inc()
+			now := time.Now()
+			r.spans.Record(obs.Span{
+				Trace:  j.trace,
+				Parent: j.routeSpan,
+				Stage:  obs.StageFailover,
+				Proc:   "router",
+				Class:  j.Req.SLOClass,
+				Note:   in.name + ": " + ae.Error(),
+				Start:  now,
+				End:    now,
+			})
 			r.log.Warn("placement failed, failing over",
 				"job", j.ID, "instance", in.name, "err", ae.Error())
 			continue
@@ -463,9 +502,35 @@ const (
 // failure after acceptance means the job may be lost with it — the
 // caller re-places it elsewhere and the fingerprint-keyed memo dedups
 // whatever actually survived.
-func (r *Router) attemptOn(ctx context.Context, in *instance, j *Job) (*service.JobView, outcome, *attemptError) {
+func (r *Router) attemptOn(ctx context.Context, in *instance, j *Job) (view *service.JobView, out outcome, aerr *attemptError) {
 	in.inflight.Add(1)
 	defer in.inflight.Add(-1)
+
+	// One span per placement attempt, parented on the job's route span.
+	// The trace context rides the request context: the client stamps it
+	// onto every HTTP request as X-Trace-Context (so the instance's
+	// accept/queue/run/stream spans nest under this attempt) and tags
+	// its backoff sleeps with it.
+	attemptID := r.spans.NextID()
+	t0 := time.Now()
+	ctx = obs.WithTraceContext(ctx, j.trace, attemptID)
+	defer func() {
+		note := in.name
+		if aerr != nil {
+			note += ": " + aerr.Error()
+		}
+		r.spans.Record(obs.Span{
+			Trace:  j.trace,
+			ID:     attemptID,
+			Parent: j.routeSpan,
+			Stage:  obs.StageAttempt,
+			Proc:   "router",
+			Class:  j.Req.SLOClass,
+			Note:   note,
+			Start:  t0,
+			End:    time.Now(),
+		})
+	}()
 
 	var accepted service.JobView
 	if ae := r.client.do(ctx, "POST", in.base+"/v1/jobs", &j.Req, &accepted); ae != nil {
@@ -593,6 +658,42 @@ func (r *Router) Instances() []InstanceView {
 	return out
 }
 
+// Readiness is the router /readyz body: how many instances could take
+// a job right now, with the unroutable ones named by why. Status is
+// "ok" with at least one routable instance, "no_routable_instances"
+// otherwise (served as a 503).
+type Readiness struct {
+	Status       string   `json:"status"`
+	Instances    int      `json:"instances"`
+	Routable     int      `json:"routable"`
+	Ejected      []string `json:"ejected,omitempty"`
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+	Draining     []string `json:"draining,omitempty"`
+}
+
+// Readiness classifies every instance for the /readyz body. It reads
+// breaker state via snapshot — never allow() — so a readiness scrape
+// can't consume a breaker's half-open probe slot.
+func (r *Router) Readiness() Readiness {
+	out := Readiness{Status: "ok", Instances: len(r.insts)}
+	for _, v := range r.Instances() {
+		switch {
+		case v.Draining:
+			out.Draining = append(out.Draining, v.Name)
+		case !v.Ready:
+			out.Ejected = append(out.Ejected, v.Name)
+		case v.Breaker == "open":
+			out.OpenBreakers = append(out.OpenBreakers, v.Name)
+		default:
+			out.Routable++
+		}
+	}
+	if out.Routable == 0 {
+		out.Status = "no_routable_instances"
+	}
+	return out
+}
+
 // RefreshGauges publishes the per-instance state as gauges; the /metrics
 // handler calls it before every snapshot. Breaker states encode as
 // closed=0, half-open=1, open=2.
@@ -622,6 +723,10 @@ func (r *Router) RefreshGauges() {
 
 // Metrics exposes the router registry.
 func (r *Router) Metrics() *obs.Registry { return r.metrics }
+
+// Spans exposes the routing-span recorder (route/attempt/backoff/
+// failover), the router-side half of the merged fleet trace.
+func (r *Router) Spans() *obs.SpanRecorder { return r.spans }
 
 // Draining reports whether Drain has begun.
 func (r *Router) Draining() bool { return r.draining.Load() }

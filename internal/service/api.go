@@ -70,6 +70,14 @@ type SubmitRequest struct {
 	// simulation result, is excluded from Fingerprint, and round-trips
 	// through journals and recorded traces so replays keep their class.
 	SLOClass string `json:"slo_class,omitempty"`
+
+	// TraceID / TraceParent carry the request's distributed-trace
+	// identity, filled by the HTTP layer from X-Trace-Context (or the
+	// request ID) — never from the JSON body. Attribution only: excluded
+	// from Fingerprint and from journal/trace serialization (a replayed
+	// job starts a fresh trace).
+	TraceID     string `json:"-"`
+	TraceParent string `json:"-"`
 }
 
 // ResolvedKind reports the request's effective kind with the inference

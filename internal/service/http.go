@@ -103,6 +103,16 @@ func Handler(s *Service, opts ...HandlerOption) http.Handler {
 	handle("GET /v1/jobs/{id}/events", "v1_jobs_events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvents(s, w, r, cfg.keepalive)
 	})
+	handle("GET /v1/spans", "v1_spans", func(w http.ResponseWriter, r *http.Request) {
+		// The fleet-trace exporter's per-instance feed: lifecycle spans,
+		// optionally filtered to one trace (?trace=ID). Always a JSON
+		// array (empty when the ring holds nothing for the trace).
+		spans := s.Spans().ByTrace(r.URL.Query().Get("trace"))
+		if spans == nil {
+			spans = []obs.Span{}
+		}
+		writeJSON(w, http.StatusOK, spans)
+	})
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness: the process is up and answering — 200 even while
 		// draining, with a body that says which. Load balancers that must
@@ -158,6 +168,7 @@ func Handler(s *Service, opts ...HandlerOption) http.Handler {
 }
 
 func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, &ErrorBody{Code: CodeBadRequest, Message: "bad JSON: " + err.Error()})
@@ -172,14 +183,23 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Trace identity: an explicit X-Trace-Context (the router's, carrying
+	// the attempt span to parent under) wins; otherwise the request ID
+	// the middleware threaded through starts a fresh single-hop trace.
+	if tc := r.Header.Get(obs.TraceContextHeader); tc != "" {
+		req.TraceID, req.TraceParent = obs.ParseTraceContext(tc)
+	} else {
+		req.TraceID = RequestID(r.Context())
+	}
 	j, body := s.Submit(req)
 	if body != nil {
 		writeError(w, body)
 		return
 	}
+	s.recordSpan(j, obs.StageAccept, t0, time.Now(), "")
 	s.logger().Info("job accepted",
 		"job", j.ID, "kind", j.Kind, "client", req.Client,
-		"request_id", RequestID(r.Context()))
+		"request_id", RequestID(r.Context()), "trace", j.Trace())
 	if r.URL.Query().Get("wait") == "" {
 		writeJSON(w, http.StatusAccepted, j.View())
 		return
@@ -189,13 +209,17 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 	// survives if a coalesced twin still wants it).
 	select {
 	case <-j.Done():
-		writeJSON(w, http.StatusOK, j.View())
+		view := j.View()
+		_, _, finished := j.spanTimes()
+		s.recordSpan(j, obs.StageStream, finished, time.Now(), "wait")
+		writeJSON(w, http.StatusOK, view)
 	case <-r.Context().Done():
 		s.Cancel(j.ID)
 	}
 }
 
 func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, keepalive time.Duration) {
+	t0 := time.Now()
 	j := s.Job(r.PathValue("id"))
 	if j == nil {
 		writeError(w, &ErrorBody{Code: CodeNotFound, Message: "no such job"})
@@ -229,6 +253,15 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, keepalive 
 			since = ev.Seq + 1
 			if ev.Type == "state" && terminal(ev.State) {
 				flusher.Flush()
+				// Stream stage: the delivery tail from job finish (or
+				// stream attach, if the watcher arrived later) to the
+				// final flush of the terminal frame.
+				_, _, finished := j.spanTimes()
+				start := finished
+				if t0.After(start) {
+					start = t0
+				}
+				s.recordSpan(j, obs.StageStream, start, time.Now(), "sse")
 				return
 			}
 		}

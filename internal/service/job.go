@@ -17,6 +17,12 @@ type Job struct {
 	Priority int
 	seq      int64 // queue tiebreaker (FIFO within a priority level)
 
+	// trace / parentSpan tie the job's lifecycle spans to the
+	// distributed trace that submitted it (the job's own ID when the
+	// client sent no trace context).
+	trace      string
+	parentSpan string
+
 	cancel context.CancelFunc // cancels this job's interest in its sims
 
 	mu        sync.Mutex
@@ -46,15 +52,20 @@ func newJob(id string, req SubmitRequest, seq int64) *Job {
 		}
 	}
 	j := &Job{
-		ID:       id,
-		Kind:     kind,
-		Req:      req,
-		Priority: req.Priority,
+		ID:         id,
+		Kind:       kind,
+		Req:        req,
+		Priority:   req.Priority,
+		trace:      req.TraceID,
+		parentSpan: req.TraceParent,
 		seq:        seq,
 		state:      StateQueued,
 		acceptedAt: time.Now(),
 		changed:    make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if j.trace == "" {
+		j.trace = id
 	}
 	j.events = append(j.events, Event{Seq: 0, Type: "state", State: StateQueued})
 	return j
@@ -122,6 +133,19 @@ func (j *Job) spans() (queueWait, run, e2e time.Duration) {
 		return e2e, 0, e2e
 	}
 	return j.startedAt.Sub(j.acceptedAt), j.finishedAt.Sub(j.startedAt), e2e
+}
+
+// Trace returns the job's trace ID (the client's X-Trace-Context, the
+// request ID, or the job's own ID — first one present wins).
+func (j *Job) Trace() string { return j.trace }
+
+// spanTimes snapshots the lifecycle anchors for span recording. Always
+// the job's OWN anchors: a coalesced follower's queue wait runs from
+// its own acceptedAt, never the leader's.
+func (j *Job) spanTimes() (accepted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.acceptedAt, j.startedAt, j.finishedAt
 }
 
 // age is how long the job has existed (queue-age gauge input).

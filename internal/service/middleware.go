@@ -46,7 +46,7 @@ func newInstrument(reg *obs.Registry, log *slog.Logger) *instrument {
 	// (zero-valued) before the first request arrives.
 	for _, route := range []string{
 		"v1_jobs_submit", "v1_jobs_list", "v1_jobs_get", "v1_jobs_cancel",
-		"v1_jobs_events", "healthz", "readyz", "metrics",
+		"v1_jobs_events", "v1_spans", "healthz", "readyz", "metrics",
 	} {
 		reg.Histogram("http.latency." + route)
 		reg.Counter("http.requests." + route)

@@ -56,6 +56,15 @@ type Config struct {
 	// Logger receives structured job-lifecycle logs (accept, finish,
 	// drain) with job IDs for correlation. Nil discards them.
 	Logger *slog.Logger
+	// SpanCap bounds the lifecycle-span ring the tracing layer keeps
+	// (accept/queue/run/stream spans served by GET /v1/spans); 0 picks
+	// obs.DefaultSpanCap. The ring is always on — recording is one
+	// mutex'd write per stage.
+	SpanCap int
+	// SpanProc names this process's lane in merged fleet traces
+	// (default "gpusimd"). Fleet boots give each instance a distinct
+	// name so Perfetto shows one process row per instance.
+	SpanProc string
 	// OnAccept observes every freshly accepted submission (after
 	// admission control, before execution) — the trace-record hook:
 	// gpusimd -record wires a workspec.TraceWriter here so production
@@ -75,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.MemoLimit == 0 {
 		c.MemoLimit = 256
 	}
+	if c.SpanProc == "" {
+		c.SpanProc = "gpusimd"
+	}
 	return c
 }
 
@@ -88,6 +100,7 @@ type Service struct {
 	limiter *rateLimiter
 	journal *journal
 	metrics *obs.Registry
+	spans   *obs.SpanRecorder
 
 	ctx    context.Context // root: canceled by Close, kills running sims
 	cancel context.CancelFunc
@@ -123,6 +136,7 @@ func New(cfg Config) (*Service, error) {
 		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst),
 		journal: jn,
 		metrics: obs.NewRegistry(),
+		spans:   obs.NewSpanRecorder(cfg.SpanCap, cfg.SpanProc),
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*Job),
@@ -399,9 +413,22 @@ func (s *Service) finishRecord(j *Job) {
 	if e2e <= 0 {
 		return // rollback of a never-admitted job: nothing to measure
 	}
+	// Histogram observations and trace spans use the job's OWN anchors:
+	// a follower coalesced onto a leader's in-flight simulation still
+	// waited from its own acceptedAt, so memo-heavy load doesn't skew
+	// the queue-wait distribution with the leader's timeline.
 	s.metrics.Histogram("job.queue_wait_seconds").Observe(queueWait.Seconds())
 	s.metrics.Histogram("job.run_seconds").Observe(run.Seconds())
 	s.metrics.Histogram("job.e2e_seconds").Observe(e2e.Seconds())
+	accepted, started, finished := j.spanTimes()
+	queueEnd := started
+	if started.IsZero() {
+		queueEnd = finished // canceled while queued: wait ends at the terminal transition
+	}
+	s.recordSpan(j, obs.StageQueue, accepted, queueEnd, "")
+	if !started.IsZero() {
+		s.recordSpan(j, obs.StageRun, started, finished, j.State())
+	}
 	s.logger().Info("job finished",
 		"subsystem", "service", "job", j.ID, "kind", j.Kind, "state", j.State(),
 		"queue_wait_us", queueWait.Microseconds(),
@@ -611,6 +638,28 @@ func (s *Service) runExperiment(ctx context.Context, j *Job) (*JobResult, *Error
 	hits1, _ := s.pool.CacheStats()
 	return &JobResult{Report: buf.String(), FailedRows: failed, MemoHits: int(hits1 - hits0)}, nil
 }
+
+// recordSpan stores one lifecycle span for j, stamped with this
+// process's trace lane and the job's SLO class.
+func (s *Service) recordSpan(j *Job, stage string, start, end time.Time, note string) {
+	if end.IsZero() || start.IsZero() {
+		return
+	}
+	s.spans.Record(obs.Span{
+		Trace:  j.trace,
+		Parent: j.parentSpan,
+		Stage:  stage,
+		Proc:   s.cfg.SpanProc,
+		Class:  j.Req.SLOClass,
+		Note:   note,
+		Start:  start,
+		End:    end,
+	})
+}
+
+// Spans exposes the lifecycle-span recorder (the GET /v1/spans source
+// and the fleet exporter's per-instance feed).
+func (s *Service) Spans() *obs.SpanRecorder { return s.spans }
 
 // Metrics exposes the service registry (sim stats plus service.*
 // counters) for the /metrics endpoint.
